@@ -1,0 +1,112 @@
+"""Ablation: NEC query compression (the Section 3.4 technique).
+
+The paper cites the CFL study's verdict on query-graph compression: "only
+a small number of query vertices could be compressed" on realistic
+queries, so the technique was dropped from the main comparison. This
+bench quantifies both halves:
+
+1. measured compression ratios on the paper-style random-walk query sets
+   (expected: close to 1.0 — little to compress);
+2. the speedup on compression-friendly shapes (stars and same-label
+   cliques), where grouping interchangeable vertices avoids enumerating
+   ``Π |class|!`` permutations explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from conftest import bench_match_cap, bench_queries, bench_time_limit
+from shared import DEFAULT_SIZE, dataset, query_set
+
+from repro.core.api import match
+from repro.extensions import compress_query, match_compressed
+from repro.graph import Graph
+from repro.study import format_table
+from repro.utils.timer import Timer
+
+DATASET_KEYS = ["ye", "yt", "db"]
+
+
+def _star(center_label: int, leaf_label: int, leaves: int) -> Graph:
+    return Graph(
+        labels=[center_label] + [leaf_label] * leaves,
+        edges=[(0, i) for i in range(1, leaves + 1)],
+    )
+
+
+def _experiment() -> str:
+    blocks: List[str] = []
+
+    # 1. Compression ratios on random-walk query sets.
+    rows: List[List[object]] = []
+    for key in DATASET_KEYS:
+        for density in ("dense", "sparse"):
+            qs = query_set(key, DEFAULT_SIZE[key], density)
+            ratios = [
+                compress_query(query).compression_ratio
+                for query in qs.queries
+            ]
+            rows.append(
+                [
+                    f"{key}/{qs.label}",
+                    round(sum(ratios) / len(ratios), 3),
+                    round(max(ratios), 3),
+                ]
+            )
+    blocks.append(
+        format_table(
+            ["query set", "avg ratio", "max ratio"],
+            rows,
+            title="Ablation — NEC compression ratio on random-walk queries "
+            "(1.0 = incompressible)",
+        )
+    )
+
+    # 2. Speedup on compression-friendly stars.
+    data = dataset("yt")
+    labels = sorted(data.label_set, key=lambda l: -data.label_frequency(l))
+    rows2: List[List[object]] = []
+    for leaves in (3, 4, 5):
+        star = _star(labels[0], labels[1], leaves)
+        with Timer() as t_plain:
+            plain = match(
+                star, data, algorithm="GQL-opt",
+                match_limit=bench_match_cap(),
+                time_limit=bench_time_limit(), store_limit=0,
+            )
+        with Timer() as t_nec:
+            nec = match_compressed(
+                star, data,
+                match_limit=bench_match_cap(),
+                time_limit=bench_time_limit(), store_limit=0,
+            )
+        rows2.append(
+            [
+                f"star-{leaves}",
+                compress_query(star).compression_ratio,
+                plain.num_matches,
+                nec.num_matches,
+                round(t_plain.elapsed_ms, 2),
+                round(t_nec.elapsed_ms, 2),
+                round(t_plain.elapsed_ms / max(1e-3, t_nec.elapsed_ms), 2),
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["query", "ratio", "plain #", "NEC #", "plain ms", "NEC ms", "speedup"],
+            rows2,
+            title="Ablation — NEC on compression-friendly stars (yt)",
+        )
+    )
+
+    blocks.append(
+        f"[{bench_queries()} queries/set] paper (via CFL study): random "
+        "queries barely compress; the technique only pays on special shapes."
+    )
+    return "\n\n".join(blocks)
+
+
+def bench_ablation_compression(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

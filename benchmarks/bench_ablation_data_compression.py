@@ -1,0 +1,95 @@
+"""Ablation: BoostIso-style data-graph compression (Section 3.4).
+
+The paper relays the CFL study's verdict: "the data graph compression
+technique worked well only when the data graph was very dense". This
+bench measures (1) how much each dataset stand-in actually compresses and
+(2) the count-query speedup of matching on the compressed graph, across
+the density spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from conftest import bench_match_cap, bench_time_limit
+from shared import dataset, query_set
+
+from repro.core.api import match
+from repro.extensions import compress_data_graph, match_data_compressed
+from repro.study import format_table
+from repro.utils.timer import Timer
+
+#: Sparse → dense stand-ins (wn 3.1 → hu 36.9 average degree).
+DATASET_KEYS = ["wn", "yt", "ye", "hu", "eu"]
+
+
+def _experiment() -> str:
+    rows: List[List[object]] = []
+    for key in DATASET_KEYS:
+        data = dataset(key)
+        with Timer() as t_compress:
+            compressed = compress_data_graph(data)
+
+        qs = query_set(key, 6, "dense")
+        plain_ms = 0.0
+        hyper_ms = 0.0
+        agreements = 0
+        for query in qs.queries:
+            with Timer() as t_plain:
+                plain = match(
+                    query, data, algorithm="GQL-opt",
+                    match_limit=bench_match_cap(),
+                    time_limit=bench_time_limit(), store_limit=0,
+                )
+            with Timer() as t_hyper:
+                hyper = match_data_compressed(
+                    query, data,
+                    match_limit=bench_match_cap(),
+                    time_limit=bench_time_limit(), store_limit=0,
+                    compressed=compressed,
+                )
+            plain_ms += t_plain.elapsed_ms
+            hyper_ms += t_hyper.elapsed_ms
+            if plain.num_matches == hyper.num_matches or not (
+                plain.solved and hyper.solved
+            ):
+                agreements += 1
+
+        n = len(qs.queries)
+        rows.append(
+            [
+                key,
+                round(data.average_degree, 1),
+                round(compressed.compression_ratio, 3),
+                round(t_compress.elapsed_ms, 1),
+                round(plain_ms / n, 2),
+                round(hyper_ms / n, 2),
+                round((plain_ms / n) / max(1e-3, hyper_ms / n), 2),
+                f"{agreements}/{n}",
+            ]
+        )
+
+    table = format_table(
+        [
+            "dataset", "d(G)", "ratio", "compress ms",
+            "plain ms", "hyper ms", "speedup", "counts agree",
+        ],
+        rows,
+        title="Ablation — BoostIso-style data compression across density",
+    )
+    note = (
+        "paper (via CFL study): data compression only pays on very dense "
+        "graphs. Our variant folds strict twins only — BoostIso also "
+        "exploits syntactic *containment* relations, which is where dense "
+        "graphs gain — so here the ratio is driven by leaf twins (higher "
+        "on sparse stand-ins) and the unfiltered hyper enumeration wins "
+        "only where compression is substantial for the queried labels. "
+        "Caveat: at the match cap the two counts can differ (hyper "
+        "counting jumps in class-size steps)."
+    )
+    return table + "\n\n" + note
+
+
+def bench_ablation_data_compression(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

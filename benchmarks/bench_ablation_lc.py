@@ -1,0 +1,57 @@
+"""Ablation: ComputeLC method cross product on a fixed filter + ordering.
+
+Holds the GraphQL filter and ordering fixed and swaps only the LC method
+(Algorithm 2 / 3 / 5), isolating the enumeration axis the way Section 3.3's
+cost analysis does. Algorithm 4 is CFL-specific (tree auxiliary) and is
+measured inside its own preset in Figure 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import DEFAULT_SIZE, query_set, run
+
+from repro.core import get_algorithm
+from repro.enumeration import CandidateScanLC, IntersectionLC, NeighborScanLC
+from repro.study import format_series
+
+DATASET_KEYS = ["ye", "hp", "yt", "db"]
+
+
+def _variant(lc, name, aux_scope):
+    return dataclasses.replace(
+        get_algorithm("GQL-opt"), name=name, lc=lc, aux_scope=aux_scope
+    )
+
+
+VARIANTS = {
+    "Alg2 (scan N(M[u.p]))": lambda: _variant(NeighborScanLC(), "GQL-alg2", "none"),
+    "Alg3 (scan C(u))": lambda: _variant(CandidateScanLC(), "GQL-alg3", "none"),
+    "Alg5 (intersection)": lambda: _variant(IntersectionLC(), "GQL-alg5", "all"),
+}
+
+
+def _experiment() -> str:
+    series: Dict[str, List[float]] = {name: [] for name in VARIANTS}
+    for key in DATASET_KEYS:
+        qs = query_set(key, DEFAULT_SIZE[key], "dense")
+        for name, factory in VARIANTS.items():
+            series[name].append(run(factory(), key, qs).avg_enumeration_ms)
+    table = format_series(
+        "Ablation — LC method under fixed GQL filter+ordering (enum ms)",
+        DATASET_KEYS,
+        series,
+    )
+    note = (
+        f"[{bench_queries()} queries/set] expected (Section 3.3.2): "
+        "Alg5 <= Alg2 < Alg3; maintaining candidate edges pays for itself."
+    )
+    return table + "\n\n" + note
+
+
+def bench_ablation_lc_methods(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,84 @@
+"""Figure 7: preprocessing time of the filtering methods.
+
+Paper findings to reproduce in shape:
+(1) GQL is generally the slowest filter (higher time complexity);
+(2) CECI and DP spend more time than CFL (more refinement / more candidate
+    edges) despite the same asymptotic complexity;
+(3) preprocessing grows with |V(q)| and differs little between dense and
+    sparse queries; absolute values stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import ALL_DATASETS, DEFAULT_SIZE, SIZE_LADDER, dataset, query_set
+
+from repro.filtering import CECIFilter, CFLFilter, DPisoFilter, GraphQLFilter
+from repro.study import format_series
+from repro.utils.timer import Timer
+
+FILTERS = {
+    "GQL": GraphQLFilter,
+    "CFL": CFLFilter,
+    "CECI": CECIFilter,
+    "DP": DPisoFilter,
+}
+
+
+def _avg_filter_ms(filter_cls, data, queries) -> float:
+    total = 0.0
+    for query in queries:
+        filt = filter_cls()
+        with Timer() as t:
+            filt.run(query, data)
+        total += t.elapsed_ms
+    return total / max(1, len(queries))
+
+
+def _experiment() -> str:
+    blocks: List[str] = []
+
+    # (a) + (c): per dataset, dense and sparse default sets.
+    for density in ("dense", "sparse"):
+        series: Dict[str, List[float]] = {name: [] for name in FILTERS}
+        for key in ALL_DATASETS:
+            data = dataset(key)
+            qs = query_set(key, DEFAULT_SIZE[key], density)
+            for name, cls in FILTERS.items():
+                series[name].append(_avg_filter_ms(cls, data, qs.queries))
+        blocks.append(
+            format_series(
+                f"Figure 7(a/c) — avg filtering time (ms), {density} default sets",
+                ALL_DATASETS,
+                series,
+            )
+        )
+
+    # (b): vary |V(q)| on yt.
+    sizes = SIZE_LADDER["yt"]
+    series_b: Dict[str, List[float]] = {name: [] for name in FILTERS}
+    data = dataset("yt")
+    for size in sizes:
+        qs = query_set("yt", size, "dense" if size > 4 else None)
+        for name, cls in FILTERS.items():
+            series_b[name].append(_avg_filter_ms(cls, data, qs.queries))
+    blocks.append(
+        format_series(
+            "Figure 7(b) — avg filtering time (ms) on yt, |V(q)| varied",
+            sizes,
+            series_b,
+        )
+    )
+
+    blocks.append(
+        f"[{bench_queries()} queries/set] paper: GQL slowest; CECI/DP slower "
+        "than CFL; time grows with |V(q)|; dense vs sparse gap small."
+    )
+    return "\n\n".join(blocks)
+
+
+def bench_fig07_filter_preprocessing_time(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,90 @@
+"""Figure 8: pruning power — average candidate-set size per filter.
+
+Baselines: LDF (no refinement) and STEADY (the Rule 3.1 fixpoint).
+Paper findings to reproduce in shape:
+(1) on wn (most vertices share one label) all methods sit close to LDF and
+    GQL is the strongest;
+(2) elsewhere GQL, CFL and DP are competitive, CECI is weaker, DP slightly
+    beats CFL;
+(3) CFL/DP land close to STEADY;
+(4) Q4 has more candidates than larger queries, sparse more than dense.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import ALL_DATASETS, DEFAULT_SIZE, SIZE_LADDER, dataset, query_set
+
+from repro.filtering import (
+    CECIFilter,
+    CFLFilter,
+    DPisoFilter,
+    GraphQLFilter,
+    LDFFilter,
+    SteadyFilter,
+)
+from repro.study import format_series
+
+FILTERS = {
+    "LDF": LDFFilter,
+    "GQL": GraphQLFilter,
+    "CFL": CFLFilter,
+    "CECI": CECIFilter,
+    "DP": DPisoFilter,
+    "STEADY": SteadyFilter,
+}
+
+
+def _avg_candidates(filter_cls, data, queries) -> float:
+    total = 0.0
+    for query in queries:
+        total += filter_cls().run(query, data).average_size
+    return total / max(1, len(queries))
+
+
+def _experiment() -> str:
+    blocks: List[str] = []
+
+    for density in ("dense", "sparse"):
+        series: Dict[str, List[float]] = {name: [] for name in FILTERS}
+        for key in ALL_DATASETS:
+            data = dataset(key)
+            qs = query_set(key, DEFAULT_SIZE[key], density)
+            for name, cls in FILTERS.items():
+                series[name].append(_avg_candidates(cls, data, qs.queries))
+        blocks.append(
+            format_series(
+                f"Figure 8(a/c) — avg |C(u)|, {density} default sets",
+                ALL_DATASETS,
+                series,
+            )
+        )
+
+    sizes = SIZE_LADDER["yt"]
+    series_b: Dict[str, List[float]] = {name: [] for name in FILTERS}
+    data = dataset("yt")
+    for size in sizes:
+        qs = query_set("yt", size, "dense" if size > 4 else None)
+        for name, cls in FILTERS.items():
+            series_b[name].append(_avg_candidates(cls, data, qs.queries))
+    blocks.append(
+        format_series(
+            "Figure 8(b) — avg |C(u)| on yt, |V(q)| varied",
+            sizes,
+            series_b,
+        )
+    )
+
+    blocks.append(
+        f"[{bench_queries()} queries/set] paper: GQL best on wn; GQL/CFL/DP "
+        "competitive elsewhere and close to STEADY; CECI weaker; sparse > "
+        "dense candidate counts."
+    )
+    return "\n\n".join(blocks)
+
+
+def bench_fig08_candidate_counts(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,75 @@
+"""Figure 11: enumeration time of the seven ordering methods.
+
+Setup per Section 5.3: all algorithms run the optimized local-candidate
+computation (Algorithm 5, all-edges auxiliary); QSI, RI and 2PP use
+GraphQL's candidate sets; DP-iso's failing sets are disabled.
+
+Paper findings to reproduce in shape: GQL and RI beat the newer orderings
+overall; GQL wins on the dense hu, RI on the sparse yt/wn; CFL does much
+better on sparse queries than dense ones; hp is uniformly fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import ALL_DATASETS, DEFAULT_SIZE, SIZE_LADDER, query_set, run
+
+from repro.study import format_series
+
+ALGORITHMS = {
+    "QSI": "QSI-opt",
+    "GQL": "GQL-opt",
+    "CFL": "CFL-opt",
+    "CECI": "CECI-opt",
+    "DP": "DP-opt",
+    "RI": "RI-opt",
+    "2PP": "2PP-opt",
+}
+
+
+def _experiment() -> str:
+    blocks: List[str] = []
+
+    # (a)+(c): per dataset, dense and sparse defaults.
+    for density in ("dense", "sparse"):
+        series: Dict[str, List[float]] = {name: [] for name in ALGORITHMS}
+        for key in ALL_DATASETS:
+            qs = query_set(key, DEFAULT_SIZE[key], density)
+            for name, preset in ALGORITHMS.items():
+                series[name].append(run(preset, key, qs).avg_enumeration_ms)
+        blocks.append(
+            format_series(
+                f"Figure 11(a/c) — avg enumeration time (ms), {density} default sets",
+                ALL_DATASETS,
+                series,
+            )
+        )
+
+    # (b): vary |V(q)| on yt (dense sets).
+    sizes = SIZE_LADDER["yt"]
+    series_b: Dict[str, List[float]] = {name: [] for name in ALGORITHMS}
+    for size in sizes:
+        qs = query_set("yt", size, "dense" if size > 4 else None)
+        for name, preset in ALGORITHMS.items():
+            series_b[name].append(run(preset, "yt", qs).avg_enumeration_ms)
+    blocks.append(
+        format_series(
+            "Figure 11(b) — avg enumeration time (ms) on yt, |V(q)| varied",
+            sizes,
+            series_b,
+        )
+    )
+
+    blocks.append(
+        f"[{bench_queries()} queries/set, optimized LC, failing sets off] "
+        "paper: GQL and RI are the most effective orderings; GQL wins on "
+        "dense hu, RI on sparse yt/wn; time grows with |V(q)|."
+    )
+    return "\n\n".join(blocks)
+
+
+def bench_fig11_ordering_time(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,59 @@
+"""Figure 12: standard deviation of the enumeration time on yt.
+
+Paper finding to reproduce in shape: the standard deviation is large —
+within one query set, per-query enumeration times vary wildly for every
+ordering method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import query_set, run
+
+from repro.study import format_series
+
+ALGORITHMS = {
+    "QSI": "QSI-opt",
+    "GQL": "GQL-opt",
+    "CFL": "CFL-opt",
+    "CECI": "CECI-opt",
+    "DP": "DP-opt",
+    "RI": "RI-opt",
+    "2PP": "2PP-opt",
+}
+
+SIZES = [8, 12, 16]
+
+
+def _experiment() -> str:
+    mean_series: Dict[str, List[float]] = {name: [] for name in ALGORITHMS}
+    std_series: Dict[str, List[float]] = {name: [] for name in ALGORITHMS}
+    for size in SIZES:
+        qs = query_set("yt", size, "dense")
+        for name, preset in ALGORITHMS.items():
+            summary = run(preset, "yt", qs)
+            mean_series[name].append(summary.avg_enumeration_ms)
+            std_series[name].append(summary.std_enumeration_ms)
+
+    blocks = [
+        format_series(
+            "Figure 12 — stddev of enumeration time (ms), dense queries on yt",
+            SIZES,
+            std_series,
+        ),
+        format_series(
+            "(context) mean enumeration time (ms)",
+            SIZES,
+            mean_series,
+        ),
+        f"[{bench_queries()} queries/set] paper: large SD values — "
+        "enumeration time varies greatly across queries in a set.",
+    ]
+    return "\n\n".join(blocks)
+
+
+def bench_fig12_enumeration_stddev(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

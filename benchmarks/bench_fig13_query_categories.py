@@ -1,0 +1,66 @@
+"""Figure 13: percentage of short/median/long/unsolved queries on yt.
+
+Thresholds are the paper's 1s/60s/300s rescaled to the configured budget
+(fractions 1/300, 1/5, 1 — see RunSummary.categories).
+
+Paper findings to reproduce in shape: more median/long/unsolved queries as
+|V(q)| grows; RI solves the largest share of queries quickly on this
+sparse dataset.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from conftest import bench_queries
+from shared import SIZE_LADDER, query_set, run
+
+from repro.study import format_table
+
+ALGORITHMS = {
+    "QSI": "QSI-opt",
+    "GQL": "GQL-opt",
+    "CFL": "CFL-opt",
+    "CECI": "CECI-opt",
+    "DP": "DP-opt",
+    "RI": "RI-opt",
+    "2PP": "2PP-opt",
+}
+
+
+def _experiment() -> str:
+    rows: List[List[object]] = []
+    sizes = [s for s in SIZE_LADDER["yt"] if s > 4]
+    for density in ("dense", "sparse"):
+        for size in sizes:
+            qs = query_set("yt", size, density)
+            for name, preset in ALGORITHMS.items():
+                summary = run(preset, "yt", qs)
+                cats = summary.categories()
+                n = max(1, summary.num_queries)
+                rows.append(
+                    [
+                        qs.label,
+                        name,
+                        round(100.0 * cats["short"] / n, 1),
+                        round(100.0 * cats["median"] / n, 1),
+                        round(100.0 * cats["long"] / n, 1),
+                        round(100.0 * cats["unsolved"] / n, 1),
+                    ]
+                )
+    table = format_table(
+        ["set", "algorithm", "short%", "median%", "long%", "unsolved%"],
+        rows,
+        title="Figure 13 — query categories by enumeration time, yt",
+    )
+    note = (
+        f"[{bench_queries()} queries/set] paper: categories shift toward "
+        "median/long/unsolved as |V(q)| grows; RI answers >95% of large "
+        "queries within the short bucket on this sparse dataset."
+    )
+    return table + "\n\n" + note
+
+
+def bench_fig13_query_categories(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

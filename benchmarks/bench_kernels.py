@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the intersection kernels (pytest-benchmark proper).
+
+These run multiple rounds (unlike the experiment modules) and give stable
+relative numbers for merge vs galloping vs hybrid vs bitmap on the shapes
+the enumeration actually produces: similar-size lists, skewed lists, and
+dense neighborhoods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.intersection import (
+    BitmapSetIndex,
+    QFilterIndex,
+    intersect_galloping,
+    intersect_hybrid,
+    intersect_merge,
+)
+
+_RNG = np.random.default_rng(7)
+
+
+def _sorted_sample(universe: int, size: int):
+    return sorted(_RNG.choice(universe, size=size, replace=False).tolist())
+
+
+SIMILAR_A = _sorted_sample(4000, 400)
+SIMILAR_B = _sorted_sample(4000, 400)
+SKEWED_SMALL = _sorted_sample(40000, 25)
+SKEWED_LARGE = _sorted_sample(40000, 4000)
+DENSE_A = _sorted_sample(1200, 700)
+DENSE_B = _sorted_sample(1200, 700)
+
+
+def bench_merge_similar(benchmark):
+    benchmark(intersect_merge, SIMILAR_A, SIMILAR_B)
+
+
+def bench_galloping_similar(benchmark):
+    benchmark(intersect_galloping, SIMILAR_A, SIMILAR_B)
+
+
+def bench_hybrid_similar(benchmark):
+    benchmark(intersect_hybrid, SIMILAR_A, SIMILAR_B)
+
+
+def bench_merge_skewed(benchmark):
+    benchmark(intersect_merge, SKEWED_SMALL, SKEWED_LARGE)
+
+
+def bench_galloping_skewed(benchmark):
+    benchmark(intersect_galloping, SKEWED_SMALL, SKEWED_LARGE)
+
+
+def bench_hybrid_skewed(benchmark):
+    benchmark(intersect_hybrid, SKEWED_SMALL, SKEWED_LARGE)
+
+
+def bench_bitmap_dense_warm(benchmark):
+    """Bitmap kernel with the layout already built (QFilter's steady state)."""
+    index = BitmapSetIndex()
+    index.intersect(DENSE_A, DENSE_B)  # warm the cache
+    benchmark(index.intersect, DENSE_A, DENSE_B)
+
+
+def bench_hybrid_dense(benchmark):
+    benchmark(intersect_hybrid, DENSE_A, DENSE_B)
+
+
+def bench_bitmap_sparse_cold(benchmark):
+    """Bitmap kernel paying the encode cost every call (sparse worst case)."""
+
+    def cold():
+        BitmapSetIndex().intersect(SKEWED_SMALL, SKEWED_LARGE)
+
+    benchmark(cold)
+
+
+def bench_bsr_dense_warm(benchmark):
+    """BSR (QFilter) kernel with the layout already built, dense sets."""
+    index = QFilterIndex()
+    index.intersect(DENSE_A, DENSE_B)  # warm the cache
+    benchmark(index.intersect, DENSE_A, DENSE_B)
+
+
+def bench_bsr_skewed_warm(benchmark):
+    """BSR kernel on scattered values: ~1 element per block, pure overhead."""
+    index = QFilterIndex()
+    index.intersect(SKEWED_SMALL, SKEWED_LARGE)
+    benchmark(index.intersect, SKEWED_SMALL, SKEWED_LARGE)
+
+
+def bench_bsr_sparse_cold(benchmark):
+    """BSR kernel paying the encode cost every call."""
+
+    def cold():
+        QFilterIndex().intersect(SKEWED_SMALL, SKEWED_LARGE)
+
+    benchmark(cold)

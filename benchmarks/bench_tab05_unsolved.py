@@ -1,0 +1,92 @@
+"""Table 5: number of unsolved queries, without/with failing sets.
+
+Run over the scaled workloads of yt, up, hu and wn (the paper's four
+hardest datasets) for all seven orderings under the Section 5.3 setup.
+
+Paper findings to reproduce in shape: RI has the fewest unsolved queries
+on the sparse yt/up/wn but not on the dense hu; failing sets sharply cut
+unsolved counts for every algorithm; a small fail-all core remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from conftest import bench_queries
+from shared import DEFAULT_SIZE, query_set, run
+
+from repro.study import format_table
+
+DATASET_KEYS = ["yt", "up", "hu", "wn"]
+
+PAIRS = {
+    "QSI": ("QSI-opt", "QSIfs"),
+    "GQL": ("GQL-opt", "GQLfs"),
+    "CFL": ("CFL-opt", "CFLfs"),
+    "CECI": ("CECI-opt", "CECIfs"),
+    "DP": ("DP-opt", "DPfs"),
+    "RI": ("RI-opt", "RIfs"),
+    "2PP": ("2PP-opt", "2PPfs"),
+}
+
+
+def _workload_sets(key: str):
+    size = DEFAULT_SIZE[key]
+    return [query_set(key, size, "dense"), query_set(key, size, "sparse")]
+
+
+def _experiment() -> str:
+    unsolved: Dict[str, Dict[str, List[int]]] = {
+        name: {key: [0, 0] for key in DATASET_KEYS} for name in PAIRS
+    }
+    fail_all: Dict[str, List[int]] = {key: [0, 0] for key in DATASET_KEYS}
+
+    for key in DATASET_KEYS:
+        for qs in _workload_sets(key):
+            per_query_failures = [
+                [0] * len(qs.queries),  # wo/fs
+                [0] * len(qs.queries),  # w/fs
+            ]
+            for name, (plain, with_fs) in PAIRS.items():
+                for mode, preset in enumerate((plain, with_fs)):
+                    summary = run(preset, key, qs)
+                    unsolved[name][key][mode] += summary.num_unsolved
+                    for i, record in enumerate(summary.records):
+                        if not record.solved:
+                            per_query_failures[mode][i] += 1
+            for mode in (0, 1):
+                fail_all[key][mode] += sum(
+                    1
+                    for count in per_query_failures[mode]
+                    if count == len(PAIRS)
+                )
+
+    headers = ["algorithm"]
+    for key in DATASET_KEYS:
+        headers += [f"{key} wo/fs", f"{key} w/fs"]
+    rows: List[List[object]] = []
+    for name in PAIRS:
+        row: List[object] = [name]
+        for key in DATASET_KEYS:
+            row += unsolved[name][key]
+        rows.append(row)
+    fail_row: List[object] = ["Fail-All"]
+    for key in DATASET_KEYS:
+        fail_row += fail_all[key]
+    rows.append(fail_row)
+
+    table = format_table(
+        headers, rows, title="Table 5 — number of unsolved queries"
+    )
+    total = 2 * bench_queries()
+    note = (
+        f"[{total} queries/dataset] paper: RI fewest unsolved on sparse "
+        "yt/up/wn, worse on dense hu; failing sets reduce unsolved counts "
+        "for every algorithm."
+    )
+    return table + "\n\n" + note
+
+
+def bench_tab05_unsolved_queries(benchmark, report):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run the paper's eight algorithms side by side on one workload.
+
+A miniature of the study itself: one dataset stand-in, one query set,
+every algorithm family — the seven framework presets (original and
+optimized) plus the Glasgow constraint-programming solver — with the
+per-phase timings the paper reports.
+
+Run with::
+
+    python examples/algorithm_comparison.py [dataset_key]
+
+where ``dataset_key`` is one of ye/hu/hp/wn/up/yt/db/eu (default ye).
+"""
+
+import sys
+
+from repro.study import (
+    build_query_set,
+    format_table,
+    load_dataset,
+    run_algorithm_on_set,
+)
+
+ALGORITHMS = [
+    # The originals, re-implemented in the common framework.
+    "QSI", "GQL", "CFL", "CECI", "DP", "RI", "2PP",
+    # The paper's optimized compositions.
+    "GQLfs", "RIfs",
+    # Constraint programming.
+    "GLW",
+]
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "ye"
+    data = load_dataset(key)
+    print(f"dataset {key}: {data}")
+
+    query_set = build_query_set(data, key, size=8, density="dense", count=5, seed=99)
+    print(f"workload: {len(query_set)} {query_set.label} queries\n")
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        summary = run_algorithm_on_set(
+            algorithm,
+            data,
+            query_set.queries,
+            dataset_key=key,
+            query_set_label=query_set.label,
+            match_limit=10_000,
+            time_limit=5.0,
+        )
+        rows.append(
+            [
+                algorithm,
+                round(summary.avg_preprocessing_ms, 2),
+                round(summary.avg_enumeration_ms, 2),
+                round(summary.avg_total_ms, 2),
+                summary.num_unsolved,
+                round(summary.avg_matches_solved, 0),
+            ]
+        )
+
+    rows.sort(key=lambda r: r[3])
+    print(
+        format_table(
+            ["algorithm", "prep ms", "enum ms", "total ms", "unsolved", "avg matches"],
+            rows,
+            title=f"Leaderboard on {key}/{query_set.label} (sorted by total time)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Section 5.5): the optimized GQLfs/RIfs sit "
+        "on top; the preprocessing-enumeration originals beat the "
+        "direct-enumeration ones; Glasgow trails on enumeration workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Subgraph containment over a graph database (paper Section 2.2).
+
+Builds a collection of small labeled graphs (molecule-sized, like the
+AIDS-style datasets containment papers use) and answers "which graphs
+contain this pattern?" queries with the no-index recipe: cheap global
+filters plus the study's matcher in decision mode.
+
+Run with::
+
+    python examples/graph_database_search.py
+"""
+
+from repro.applications import GraphCollection
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+from repro.utils.timer import Timer
+
+
+def build_collection(num_graphs: int = 300) -> GraphCollection:
+    """Molecule-sized random graphs: 10-40 vertices, 4 labels."""
+    collection = GraphCollection()
+    for i in range(num_graphs):
+        size = 10 + (i * 7) % 31
+        graph = erdos_renyi_graph(size, 3.0, 4, seed=9000 + i)
+        collection.add(graph)
+    return collection
+
+
+def main() -> None:
+    collection = build_collection()
+    sizes = [len(collection[i].vertices()) for i in range(len(collection))]
+    print(
+        f"collection: {len(collection)} graphs, "
+        f"{min(sizes)}-{max(sizes)} vertices each"
+    )
+
+    # Queries: patterns mined from members of the collection (guaranteed
+    # at least one hit) plus one synthetic pattern.
+    queries = {
+        "mined 4-vertex": extract_query(collection[0], 4, seed=1),
+        "mined 6-vertex": extract_query(collection[10], 6, seed=2),
+        "triangle (label 0)": Graph(
+            labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)]
+        ),
+    }
+
+    for name, query in queries.items():
+        with Timer() as timer:
+            result = collection.search(query, time_limit_per_graph=2.0)
+        print(f"\nquery: {name} ({query.num_vertices}v/{query.num_edges}e)")
+        print(f"  containing graphs : {len(result.containing)}")
+        print(
+            f"  filtered w/o work : {result.filtered_out}/{len(collection)}"
+            f" ({100 * result.filter_rate:.0f}%)"
+        )
+        print(f"  verified          : {result.verified}")
+        print(f"  total time        : {timer.elapsed_ms:.1f} ms")
+        if result.containing:
+            print(f"  first hits        : {result.containing[:8]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Protein-interaction motif search (the paper's biology workload).
+
+Subgraph matching originates in bioinformatics: find all occurrences of a
+small interaction *motif* inside a protein-protein interaction (PPI)
+network where vertex labels are protein families. This example builds a
+Yeast-shaped PPI stand-in (Table 3's ``ye``: ~3.1k proteins, avg degree 8,
+71 families, skewed family sizes) and hunts three classic motifs:
+
+* the *feed-forward triangle* — three mutually interacting families,
+* the *hub-and-spoke* star — one family coordinating three others,
+* the *bridge* — two triangles joined by a linker protein.
+
+It also shows why the paper's filtering methods matter: candidate counts
+before and after GraphQL's refinement.
+
+Run with::
+
+    python examples/protein_motif_search.py
+"""
+
+from repro import Graph, match
+from repro.filtering import GraphQLFilter, LDFFilter
+from repro.study import load_dataset
+
+
+def most_common_labels(graph: Graph, count: int) -> list:
+    """The most frequent labels, as (label, frequency) pairs."""
+    pairs = [(label, graph.label_frequency(label)) for label in graph.label_set]
+    pairs.sort(key=lambda p: (-p[1], p[0]))
+    return pairs[:count]
+
+
+def build_motifs(ppi: Graph) -> dict:
+    """Motifs over the network's three most common protein families."""
+    (fam_a, _), (fam_b, _), (fam_c, _) = most_common_labels(ppi, 3)
+    return {
+        "feed-forward triangle": Graph(
+            labels=[fam_a, fam_b, fam_c],
+            edges=[(0, 1), (1, 2), (0, 2)],
+        ),
+        "hub-and-spoke star": Graph(
+            labels=[fam_a, fam_b, fam_b, fam_c],
+            edges=[(0, 1), (0, 2), (0, 3)],
+        ),
+        "bridged triangles": Graph(
+            labels=[fam_a, fam_b, fam_b, fam_a, fam_c],
+            edges=[(0, 1), (1, 2), (0, 2), (1, 3), (3, 4), (1, 4)],
+        ),
+    }
+
+
+def main() -> None:
+    ppi = load_dataset("ye")  # the Yeast stand-in
+    print("PPI network:", ppi)
+    print(
+        "top families:",
+        ", ".join(f"{l} ({n} proteins)" for l, n in most_common_labels(ppi, 3)),
+    )
+
+    motifs = build_motifs(ppi)
+    for name, motif in motifs.items():
+        # Pruning power: LDF vs GraphQL's profile + pseudo-iso refinement.
+        ldf = LDFFilter().run(motif, ppi)
+        gql = GraphQLFilter().run(motif, ppi)
+        result = match(motif, ppi, algorithm="recommended", match_limit=10_000)
+        print(f"\nmotif: {name} ({motif.num_vertices} vertices)")
+        print(f"  candidates/vertex: LDF {ldf.average_size:.0f} -> GQL {gql.average_size:.0f}")
+        print(f"  occurrences found: {result.num_matches}")
+        print(f"  query time       : {result.total_ms:.1f} ms")
+        if result.mappings:
+            print(f"  first occurrence : {result.mappings[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Pattern analytics on a social network (the paper's yt workload).
+
+Searches a Youtube-shaped social graph for community patterns and uses
+them to demonstrate the paper's two headline ordering findings:
+
+* on sparse social graphs, RI's backward-neighbor-greedy order is
+  excellent — non-tree edges land early in φ and kill bad paths fast;
+* failing sets barely matter for small patterns but pay off on larger
+  ones.
+
+Run with::
+
+    python examples/social_network_patterns.py
+"""
+
+from repro import Graph, match
+from repro.graph import extract_query
+from repro.study import load_dataset
+
+
+def community_patterns(social: Graph) -> dict:
+    """Patterns mined from the network itself (the paper's method), so
+    every pattern is guaranteed at least one occurrence."""
+    return {
+        "triad (3v)": extract_query(social, 3, seed=11),
+        "tight clique-ish (6v)": extract_query(
+            social, 6, seed=12, density="dense"
+        ),
+        "loose community (10v)": extract_query(
+            social, 10, seed=13, density="sparse"
+        ),
+        "dense community (10v)": extract_query(
+            social, 10, seed=2020, density="dense"
+        ),
+    }
+
+
+def main() -> None:
+    social = load_dataset("yt")
+    print("social network:", social, f"avg degree {social.average_degree:.1f}")
+
+    for name, pattern in community_patterns(social).items():
+        print(f"\npattern: {name} ({pattern.num_vertices}v/{pattern.num_edges}e)")
+        rows = []
+        for algorithm in ("GQL-opt", "RI-opt", "GQLfs", "RIfs"):
+            result = match(
+                social_pattern := pattern,
+                social,
+                algorithm=algorithm,
+                match_limit=10_000,
+                time_limit=10.0,
+            )
+            rows.append((algorithm, result))
+        for algorithm, result in rows:
+            status = "ok" if result.solved else "TIMEOUT"
+            print(
+                f"  {algorithm:8s} {result.num_matches:7d} matches  "
+                f"enum {result.enumeration_ms:9.2f} ms  "
+                f"calls {result.stats.recursion_calls:9d}  {status}"
+            )
+        fastest = min(rows, key=lambda r: r[1].enumeration_ms)[0]
+        print(f"  fastest: {fastest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""In-memory subgraph matching: a study framework.
+
+A from-scratch Python reproduction of *In-Memory Subgraph Matching: An
+In-depth Study* (Sun & Luo, SIGMOD 2020): eight subgraph-matching
+algorithms decomposed into filtering, ordering, enumeration and
+optimization components inside one common framework, plus the Glasgow
+constraint-programming solver and the full experiment harness.
+
+Quickstart::
+
+    from repro import Graph, match
+
+    data = Graph(labels=[0, 1, 0, 1], edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    query = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+    result = match(query, data, algorithm="GQLfs")
+    print(result.num_matches, result.mappings)
+"""
+
+from repro.core import (
+    AlgorithmSpec,
+    MatchResult,
+    available_algorithms,
+    count_matches,
+    get_algorithm,
+    has_match,
+    match,
+    recommended_spec,
+    verify_embedding,
+    explain_embedding_failure,
+)
+from repro.enumeration import iter_matches
+from repro.graph import Graph, load_graph, save_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "load_graph",
+    "save_graph",
+    "match",
+    "iter_matches",
+    "count_matches",
+    "has_match",
+    "MatchResult",
+    "AlgorithmSpec",
+    "available_algorithms",
+    "get_algorithm",
+    "recommended_spec",
+    "verify_embedding",
+    "explain_embedding_failure",
+    "__version__",
+]

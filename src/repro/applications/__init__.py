@@ -1,0 +1,12 @@
+"""Applications built on the matching engine.
+
+* :mod:`repro.applications.containment` — subgraph containment search over
+  a collection of data graphs, the workload the paper's related-work
+  section ties to preprocessing-enumeration matching (Sun et al., ICDE'19:
+  containment without indices, just cheap global filters + an efficient
+  matcher).
+"""
+
+from repro.applications.containment import GraphCollection, containment_search
+
+__all__ = ["GraphCollection", "containment_search"]

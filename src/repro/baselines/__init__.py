@@ -1,0 +1,11 @@
+"""Reference matchers used as correctness oracles.
+
+These deliberately share no code with the study framework: a brute-force
+assignment enumerator and a classic VF2 implementation. Tests cross-check
+every algorithm preset against them.
+"""
+
+from repro.baselines.bruteforce import brute_force_matches
+from repro.baselines.vf2 import vf2_matches
+
+__all__ = ["brute_force_matches", "vf2_matches"]

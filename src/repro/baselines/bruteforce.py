@@ -1,0 +1,43 @@
+"""Brute-force subgraph matching oracle.
+
+Enumerates every injective, label-preserving assignment of query vertices
+to data vertices and keeps those preserving all query edges (Definition
+2.1). Exponential — use only on tiny test instances.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = ["brute_force_matches"]
+
+
+def brute_force_matches(query: Graph, data: Graph) -> FrozenSet[Tuple[int, ...]]:
+    """All matches as tuples ``t`` with ``t[u]`` the image of query vertex ``u``.
+
+    Candidates are restricted per label up front, then all injective
+    combinations are tried; edge preservation is verified last.
+    """
+    per_vertex: List[List[int]] = [
+        data.vertices_with_label(query.label(u)).tolist()
+        for u in query.vertices()
+    ]
+    query_edges = list(query.edges())
+    matches = set()
+
+    def extend(index: int, chosen: List[int]) -> None:
+        if index == query.num_vertices:
+            if all(data.has_edge(chosen[a], chosen[b]) for a, b in query_edges):
+                matches.add(tuple(chosen))
+            return
+        for v in per_vertex[index]:
+            if v in chosen:
+                continue
+            chosen.append(v)
+            extend(index + 1, chosen)
+            chosen.pop()
+
+    extend(0, [])
+    return frozenset(matches)

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``match``          — run one algorithm on a query/data pair of ``.graph`` files
+* ``compare``        — run several presets on one pair and print a leaderboard
+* ``generate``       — write a synthetic data graph (RMAT or Erdős–Rényi)
+* ``extract-query``  — extract a random-walk query from a data graph
+* ``datasets``       — list (or materialize) the paper's dataset stand-ins
+* ``algorithms``     — list the available presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import available_algorithms, match
+from repro.glasgow import glasgow_match
+from repro.graph import (
+    erdos_renyi_graph,
+    extract_query,
+    load_graph,
+    rmat_graph,
+    save_graph,
+)
+from repro.study import DATASETS, format_table, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-memory subgraph matching (SIGMOD'20 study framework)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_match = sub.add_parser("match", help="match a query against a data graph")
+    p_match.add_argument("--query", "-q", required=True, help=".graph file")
+    p_match.add_argument("--data", "-d", required=True, help=".graph file")
+    p_match.add_argument(
+        "--algorithm", "-a", default="recommended",
+        help="preset name, 'GLW' for Glasgow, or 'recommended'",
+    )
+    p_match.add_argument("--match-limit", type=int, default=100_000)
+    p_match.add_argument("--time-limit", type=float, default=None)
+    p_match.add_argument(
+        "--show", type=int, default=3, help="embeddings to print"
+    )
+
+    p_compare = sub.add_parser(
+        "compare", help="run several presets on one query/data pair"
+    )
+    p_compare.add_argument("--query", "-q", required=True)
+    p_compare.add_argument("--data", "-d", required=True)
+    p_compare.add_argument(
+        "--algorithms",
+        "-a",
+        nargs="+",
+        default=["GQLfs", "RIfs", "CECI", "DP", "QSI", "GLW"],
+    )
+    p_compare.add_argument("--match-limit", type=int, default=100_000)
+    p_compare.add_argument("--time-limit", type=float, default=None)
+
+    p_generate = sub.add_parser("generate", help="write a synthetic data graph")
+    p_generate.add_argument("--model", choices=["rmat", "er"], default="rmat")
+    p_generate.add_argument("--vertices", "-n", type=int, required=True)
+    p_generate.add_argument("--degree", type=float, default=8.0)
+    p_generate.add_argument("--labels", type=int, default=16)
+    p_generate.add_argument("--seed", type=int, default=0)
+    p_generate.add_argument("--clustering", type=float, default=0.0)
+    p_generate.add_argument("--output", "-o", required=True)
+
+    p_extract = sub.add_parser(
+        "extract-query", help="extract a random-walk query from a data graph"
+    )
+    p_extract.add_argument("--data", "-d", required=True)
+    p_extract.add_argument("--size", "-s", type=int, required=True)
+    p_extract.add_argument(
+        "--density", choices=["dense", "sparse"], default=None
+    )
+    p_extract.add_argument("--seed", type=int, default=0)
+    p_extract.add_argument("--output", "-o", required=True)
+
+    p_datasets = sub.add_parser(
+        "datasets", help="list or materialize the Table 3 stand-ins"
+    )
+    p_datasets.add_argument(
+        "--build", metavar="KEY", default=None,
+        help="build this stand-in and write it to --output",
+    )
+    p_datasets.add_argument("--output", "-o", default=None)
+
+    sub.add_parser("algorithms", help="list the available presets")
+    return parser
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    query = load_graph(args.query)
+    data = load_graph(args.data)
+    if args.algorithm == "GLW":
+        result = glasgow_match(
+            query, data,
+            match_limit=args.match_limit, time_limit=args.time_limit,
+        )
+    else:
+        result = match(
+            query, data,
+            algorithm=args.algorithm,
+            match_limit=args.match_limit, time_limit=args.time_limit,
+        )
+    status = "solved" if result.solved else "UNSOLVED (time limit)"
+    print(f"algorithm     : {result.algorithm}")
+    print(f"status        : {status}")
+    print(f"matches       : {result.num_matches}")
+    print(f"preprocessing : {result.preprocessing_ms:.3f} ms")
+    print(f"enumeration   : {result.enumeration_ms:.3f} ms")
+    for mapping in result.mappings[: args.show]:
+        print(f"  match: {mapping}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    query = load_graph(args.query)
+    data = load_graph(args.data)
+    rows = []
+    for name in args.algorithms:
+        if name == "GLW":
+            result = glasgow_match(
+                query, data,
+                match_limit=args.match_limit, time_limit=args.time_limit,
+                store_limit=0,
+            )
+        else:
+            result = match(
+                query, data,
+                algorithm=name,
+                match_limit=args.match_limit, time_limit=args.time_limit,
+                store_limit=0,
+            )
+        rows.append(
+            [
+                name,
+                result.num_matches,
+                round(result.preprocessing_ms, 3),
+                round(result.enumeration_ms, 3),
+                round(result.total_ms, 3),
+                "yes" if result.solved else "NO",
+            ]
+        )
+    rows.sort(key=lambda r: r[4])
+    print(
+        format_table(
+            ["algorithm", "matches", "prep ms", "enum ms", "total ms", "solved"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "rmat":
+        graph = rmat_graph(
+            args.vertices, args.degree, args.labels,
+            seed=args.seed, clustering=args.clustering,
+        )
+    else:
+        graph = erdos_renyi_graph(
+            args.vertices, args.degree, args.labels, seed=args.seed
+        )
+    save_graph(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def _cmd_extract_query(args: argparse.Namespace) -> int:
+    data = load_graph(args.data)
+    query = extract_query(
+        data, args.size, seed=args.seed, density=args.density
+    )
+    save_graph(query, args.output)
+    print(f"wrote {query} (d(q)={query.average_degree:.2f}) to {args.output}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.build is not None:
+        if args.output is None:
+            print("error: --build requires --output", file=sys.stderr)
+            return 2
+        graph = load_dataset(args.build)
+        save_graph(graph, args.output)
+        print(f"wrote {args.build} stand-in {graph} to {args.output}")
+        return 0
+    rows = []
+    for spec in DATASETS.values():
+        rows.append(
+            [
+                spec.key,
+                spec.full_name,
+                spec.category,
+                spec.num_vertices,
+                spec.avg_degree,
+                spec.num_labels,
+                f"{spec.paper_vertices}/{spec.paper_edges}/{spec.paper_labels}",
+            ]
+        )
+    print(
+        format_table(
+            ["key", "name", "category", "|V|", "d", "|Σ|", "paper |V|/|E|/|Σ|"],
+            rows,
+            title="Dataset stand-ins (see DESIGN.md for the substitution rules)",
+        )
+    )
+    return 0
+
+
+def _cmd_algorithms() -> int:
+    for name in available_algorithms():
+        print(name)
+    print("GLW (Glasgow constraint-programming solver)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "match": lambda: _cmd_match(args),
+        "compare": lambda: _cmd_compare(args),
+        "generate": lambda: _cmd_generate(args),
+        "extract-query": lambda: _cmd_extract_query(args),
+        "datasets": lambda: _cmd_datasets(args),
+        "algorithms": _cmd_algorithms,
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Core: composed algorithms and the public matching API.
+
+This is the layer a downstream user touches: ``match(query, data,
+algorithm="GQLfs")`` runs a full Algorithm 1 pipeline; the preset registry
+covers every configuration of the paper's study.
+"""
+
+from repro.core.algorithms import (
+    OPTIMIZED_NAMES,
+    ORIGINAL_NAMES,
+    available_algorithms,
+    get_algorithm,
+    recommended_spec,
+)
+from repro.core.api import count_matches, has_match, match
+from repro.core.result import MatchResult
+from repro.core.spec import AlgorithmSpec
+from repro.core.verify import explain_embedding_failure, verify_embedding
+
+__all__ = [
+    "match",
+    "verify_embedding",
+    "explain_embedding_failure",
+    "count_matches",
+    "has_match",
+    "MatchResult",
+    "AlgorithmSpec",
+    "available_algorithms",
+    "get_algorithm",
+    "recommended_spec",
+    "ORIGINAL_NAMES",
+    "OPTIMIZED_NAMES",
+]

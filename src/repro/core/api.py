@@ -1,0 +1,185 @@
+"""The public matching API: run one algorithm preset end to end.
+
+``match()`` executes the full Algorithm 1 pipeline — filter, auxiliary
+structure, matching order, enumeration — with the paper's two limits
+(match cap, wall-clock budget) and returns a
+:class:`~repro.core.result.MatchResult` carrying the split timings the
+study reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.algorithms import resolve
+from repro.core.result import MatchResult
+from repro.core.spec import AlgorithmSpec
+from repro.enumeration.engine import BacktrackingEngine
+from repro.errors import InvalidQueryError
+from repro.filtering.auxiliary import AuxiliaryStructure
+from repro.graph.graph import Graph
+from repro.graph.ops import connected
+from repro.ordering.dpiso import DPisoOrdering
+from repro.utils.timer import Timer
+
+__all__ = ["match", "count_matches", "has_match"]
+
+AlgorithmLike = Union[str, AlgorithmSpec]
+
+
+def match(
+    query: Graph,
+    data: Graph,
+    algorithm: AlgorithmLike = "recommended",
+    match_limit: Optional[int] = 100_000,
+    time_limit: Optional[float] = None,
+    store_limit: int = 10_000,
+    validate: bool = True,
+) -> MatchResult:
+    """Find matches of ``query`` in ``data``.
+
+    Parameters
+    ----------
+    query, data:
+        Labeled undirected graphs. The query must be connected with at
+        least 3 vertices (the paper's problem setting).
+    algorithm:
+        A preset name (see
+        :func:`repro.core.algorithms.available_algorithms`), the string
+        ``"recommended"`` (the paper's Section 6 composition, resolved per
+        query/data pair), or an explicit :class:`AlgorithmSpec`.
+    match_limit:
+        Stop after this many matches (paper default 10^5); ``None`` finds
+        all.
+    time_limit:
+        Wall-clock budget in seconds for the enumeration phase; on expiry
+        the result has ``solved=False`` (the paper's unsolved query).
+    store_limit:
+        Maximum embeddings retained in the result (counting continues).
+    validate:
+        Check the query's preconditions up front (disable in tight loops).
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> data = Graph(labels=[0, 1, 0, 1], edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    >>> triangle_free = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+    >>> match(triangle_free, data, algorithm="GQL").num_matches
+    4
+    """
+    if validate:
+        _validate_query(query)
+
+    spec = resolve(algorithm, query, data)
+
+    with Timer() as prep_timer:
+        candidates = spec.filter.run(query, data) if spec.filter else None
+
+        tree = None
+        if spec.aux_scope == "tree":
+            assert spec.tree_source is not None, "tree scope requires tree_source"
+            tree = spec.tree_source(query, data)
+
+        auxiliary = None
+        if spec.aux_scope != "none":
+            assert candidates is not None, "auxiliary structure needs candidates"
+            auxiliary = AuxiliaryStructure.build(
+                query, data, candidates, scope=spec.aux_scope, tree=tree
+            )
+
+        adaptive_state = None
+        order = None
+        if spec.adaptive:
+            assert candidates is not None, "adaptive mode needs candidates"
+            assert isinstance(spec.ordering, DPisoOrdering)
+            adaptive_state = spec.ordering.adaptive_state(
+                query, data, candidates
+            )
+        else:
+            order = spec.ordering.order(query, data, candidates)
+
+    engine = BacktrackingEngine(
+        spec.lc,
+        use_failing_sets=spec.failing_sets,
+        adaptive=adaptive_state,
+    )
+    outcome = engine.run(
+        query,
+        data,
+        candidates,
+        auxiliary,
+        order,
+        tree_parent=tree.parent if tree is not None else None,
+        match_limit=match_limit,
+        time_limit=time_limit,
+        store_limit=store_limit,
+    )
+
+    memory = 0
+    candidate_average = None
+    if candidates is not None:
+        memory += candidates.memory_bytes
+        candidate_average = candidates.average_size
+    if auxiliary is not None:
+        memory += auxiliary.memory_bytes
+
+    return MatchResult(
+        algorithm=spec.name,
+        num_matches=outcome.num_matches,
+        solved=outcome.solved,
+        embeddings=outcome.embeddings,
+        order=order,
+        preprocessing_seconds=prep_timer.elapsed,
+        enumeration_seconds=outcome.elapsed,
+        candidate_average=candidate_average,
+        memory_bytes=memory,
+        stats=outcome.stats,
+    )
+
+
+def count_matches(
+    query: Graph,
+    data: Graph,
+    algorithm: AlgorithmLike = "recommended",
+    match_limit: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> int:
+    """Number of matches (all of them by default); stores no embeddings."""
+    return match(
+        query,
+        data,
+        algorithm=algorithm,
+        match_limit=match_limit,
+        time_limit=time_limit,
+        store_limit=0,
+    ).num_matches
+
+
+def has_match(
+    query: Graph,
+    data: Graph,
+    algorithm: AlgorithmLike = "recommended",
+    time_limit: Optional[float] = None,
+) -> bool:
+    """Whether at least one match exists (stops at the first)."""
+    return (
+        match(
+            query,
+            data,
+            algorithm=algorithm,
+            match_limit=1,
+            time_limit=time_limit,
+            store_limit=0,
+        ).num_matches
+        > 0
+    )
+
+
+def _validate_query(query: Graph) -> None:
+    if query.num_vertices < 3:
+        raise InvalidQueryError(
+            "queries must have at least 3 vertices (single vertices and "
+            "edges are trivial; see the paper's problem definition)"
+        )
+    if not connected(query):
+        raise InvalidQueryError("query graphs must be connected")

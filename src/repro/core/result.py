@@ -1,0 +1,68 @@
+"""The result record returned by the public matching API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.enumeration.stats import EnumerationStats
+
+__all__ = ["MatchResult"]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph-matching run.
+
+    Attributes mirror the paper's per-query metrics (Section 4, Metrics):
+    preprocessing time covers filtering, auxiliary-structure construction
+    and ordering; enumeration time covers the backtracking search;
+    ``solved`` is False when the time limit killed the query (the paper
+    then accounts the enumeration time as the full limit).
+    """
+
+    algorithm: str
+    num_matches: int
+    solved: bool
+    embeddings: List[Tuple[int, ...]] = field(default_factory=list)
+
+    #: Matching order φ actually used (None in adaptive mode).
+    order: Optional[List[int]] = None
+
+    preprocessing_seconds: float = 0.0
+    enumeration_seconds: float = 0.0
+
+    #: Average candidate-set size (Figure 8's metric); None for
+    #: direct-enumeration algorithms that build no candidate sets.
+    candidate_average: Optional[float] = None
+    #: Estimated bytes held by candidates + auxiliary structure.
+    memory_bytes: int = 0
+
+    stats: EnumerationStats = field(default_factory=EnumerationStats)
+
+    @property
+    def preprocessing_ms(self) -> float:
+        """Preprocessing time in milliseconds (the paper's unit)."""
+        return self.preprocessing_seconds * 1000.0
+
+    @property
+    def enumeration_ms(self) -> float:
+        """Enumeration time in milliseconds."""
+        return self.enumeration_seconds * 1000.0
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end query time in milliseconds."""
+        return self.preprocessing_ms + self.enumeration_ms
+
+    @property
+    def mappings(self) -> List[Dict[int, int]]:
+        """Stored embeddings as ``{query_vertex: data_vertex}`` dicts."""
+        return [dict(enumerate(t)) for t in self.embeddings]
+
+    def __repr__(self) -> str:
+        status = "solved" if self.solved else "UNSOLVED"
+        return (
+            f"MatchResult({self.algorithm}, matches={self.num_matches}, "
+            f"{status}, total={self.total_ms:.2f}ms)"
+        )

@@ -1,0 +1,71 @@
+"""Algorithm specifications: one preset = one point in the study's space.
+
+The paper's methodology is to treat each algorithm as a combination of a
+filtering method, an ordering method, a local-candidate method, an
+auxiliary-structure scope and optional failing-sets pruning (Algorithm 1).
+:class:`AlgorithmSpec` is that combination; the preset registry in
+:mod:`repro.core.algorithms` enumerates the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.enumeration.local_candidates import LocalCandidateMethod
+from repro.filtering.auxiliary import Scope
+from repro.filtering.base import Filter
+from repro.graph.graph import Graph
+from repro.graph.ops import BFSTree
+from repro.ordering.base import Ordering
+
+__all__ = ["AlgorithmSpec"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A fully wired subgraph-matching algorithm.
+
+    Attributes
+    ----------
+    name:
+        Label used in results and reports.
+    filter:
+        Candidate generation, or ``None`` for direct-enumeration
+        algorithms (QuickSI, RI, VF2++ run LDF lazily inside ComputeLC).
+    ordering:
+        Matching-order method.
+    lc:
+        ComputeLC strategy (Algorithm 2, 3, 4 or 5).
+    aux_scope:
+        Which query edges the auxiliary structure materializes
+        (``"none"`` / ``"tree"`` / ``"all"``).
+    adaptive:
+        Run DP-iso's adaptive vertex selection instead of the static φ.
+    failing_sets:
+        Enable the failing-sets pruning (Section 3.4).
+    tree_source:
+        Builder for the BFS tree ``q_t`` when ``aux_scope="tree"`` — also
+        supplies the designated ``u.p`` parents for Algorithm 4.
+    """
+
+    name: str
+    filter: Optional[Filter]
+    ordering: Ordering
+    lc: LocalCandidateMethod
+    aux_scope: Scope = "none"
+    adaptive: bool = False
+    failing_sets: bool = False
+    tree_source: Optional[Callable[[Graph, Graph], BFSTree]] = None
+
+    def with_failing_sets(self, enabled: bool = True) -> "AlgorithmSpec":
+        """This spec with failing-sets pruning toggled (renamed with suffix)."""
+        if enabled == self.failing_sets:
+            return self
+        suffix = "fs" if enabled else ""
+        base = self.name[:-2] if self.name.endswith("fs") else self.name
+        return replace(self, failing_sets=enabled, name=base + suffix)
+
+    def renamed(self, name: str) -> "AlgorithmSpec":
+        """This spec under a different report label."""
+        return replace(self, name=name)

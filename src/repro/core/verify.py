@@ -1,0 +1,79 @@
+"""Embedding verification: check a mapping is a genuine match.
+
+Useful for downstream users consuming embeddings (and used by our tests):
+re-checks Definition 2.1 — injectivity, label preservation, and edge
+preservation — independent of any algorithm state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.graph.graph import Graph
+
+__all__ = ["verify_embedding", "explain_embedding_failure"]
+
+EmbeddingLike = Union[Sequence[int], Mapping[int, int]]
+
+
+def _as_mapping(query: Graph, embedding: EmbeddingLike) -> Dict[int, int]:
+    if isinstance(embedding, Mapping):
+        mapping = dict(embedding)
+    else:
+        mapping = dict(enumerate(embedding))
+    if sorted(mapping) != list(query.vertices()):
+        raise ValueError(
+            f"embedding must map every query vertex exactly once, got keys "
+            f"{sorted(mapping)}"
+        )
+    return mapping
+
+
+def explain_embedding_failure(
+    query: Graph, data: Graph, embedding: EmbeddingLike
+) -> str:
+    """Why ``embedding`` is not a match — empty string when it is one.
+
+    >>> q = Graph(labels=[0, 1], edges=[(0, 1)])
+    >>> g = Graph(labels=[0, 1], edges=[])
+    >>> explain_embedding_failure(q, g, [0, 1])
+    'query edge (0, 1) maps to non-edge (0, 1)'
+    """
+    mapping = _as_mapping(query, embedding)
+
+    for u, v in mapping.items():
+        if not (0 <= v < data.num_vertices):
+            return f"query vertex {u} maps to nonexistent data vertex {v}"
+    if len(set(mapping.values())) != len(mapping):
+        return "mapping is not injective"
+    for u, v in mapping.items():
+        if query.label(u) != data.label(v):
+            return (
+                f"label mismatch at {u}->{v}: "
+                f"{query.label(u)} != {data.label(v)}"
+            )
+    for a, b in query.edges():
+        if not data.has_edge(mapping[a], mapping[b]):
+            return (
+                f"query edge ({a}, {b}) maps to non-edge "
+                f"({mapping[a]}, {mapping[b]})"
+            )
+    return ""
+
+
+def verify_embedding(
+    query: Graph, data: Graph, embedding: EmbeddingLike
+) -> bool:
+    """Whether ``embedding`` is a subgraph isomorphism from query to data.
+
+    Accepts either a tuple/list indexed by query vertex or a
+    ``{query_vertex: data_vertex}`` mapping.
+
+    >>> q = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+    >>> g = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+    >>> verify_embedding(q, g, (0, 1, 2))
+    True
+    >>> verify_embedding(q, g, (2, 1, 2))
+    False
+    """
+    return explain_embedding_failure(query, data, embedding) == ""

@@ -1,0 +1,35 @@
+"""Enumeration: the backtracking search of Algorithm 1 (paper Section 3.3).
+
+The study's third axis. :class:`~repro.enumeration.engine.BacktrackingEngine`
+implements the shared recursion; the
+:mod:`~repro.enumeration.local_candidates` module provides the four
+ComputeLC strategies (Algorithms 2–5); failing-sets pruning (Section 3.4)
+is a flag on the engine.
+"""
+
+from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.local_candidates import (
+    CandidateScanLC,
+    IntersectionLC,
+    LCContext,
+    LocalCandidateMethod,
+    NeighborScanLC,
+    TreeAdjacencyLC,
+    VF2ppLC,
+)
+from repro.enumeration.stats import EnumerationOutcome, EnumerationStats
+from repro.enumeration.streaming import iter_matches
+
+__all__ = [
+    "BacktrackingEngine",
+    "LocalCandidateMethod",
+    "LCContext",
+    "NeighborScanLC",
+    "VF2ppLC",
+    "CandidateScanLC",
+    "TreeAdjacencyLC",
+    "IntersectionLC",
+    "EnumerationOutcome",
+    "EnumerationStats",
+    "iter_matches",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the subgraph-matching study framework.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch framework failures without masking programming errors (``TypeError``,
+``KeyError`` and friends propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list is malformed."""
+
+
+class InvalidGraphError(ReproError):
+    """A graph violates a structural requirement (e.g. self loop, bad label)."""
+
+
+class InvalidQueryError(ReproError):
+    """A query graph is unusable (disconnected, too small, too large)."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm was composed from incompatible or unknown components."""
+
+
+class BudgetExceeded(ReproError):
+    """Internal signal: a per-query time budget expired during enumeration.
+
+    The enumeration engine catches this and reports the query as unsolved;
+    it never escapes the public API.
+    """

@@ -1,0 +1,39 @@
+"""Extensions beyond the paper's core study.
+
+* :mod:`repro.extensions.compression` — TurboIso-style query-graph
+  compression via neighborhood equivalence classes;
+* :mod:`repro.extensions.data_compression` — BoostIso-style data-graph
+  compression via vertex equivalence.
+
+Both are the Section 3.4 techniques the paper discusses but excludes from
+its main comparison (query compression rarely applies to random queries;
+data compression only pays on dense graphs) — the ablation benches
+``bench_ablation_compression.py`` and ``bench_ablation_data_compression.py``
+quantify those two claims.
+"""
+
+from repro.extensions.compression import (
+    CompressedQuery,
+    compress_query,
+    count_matches_compressed,
+    match_compressed,
+    neighborhood_equivalence_classes,
+)
+from repro.extensions.data_compression import (
+    CompressedData,
+    compress_data_graph,
+    count_matches_data_compressed,
+    match_data_compressed,
+)
+
+__all__ = [
+    "CompressedQuery",
+    "compress_query",
+    "count_matches_compressed",
+    "match_compressed",
+    "neighborhood_equivalence_classes",
+    "CompressedData",
+    "compress_data_graph",
+    "count_matches_data_compressed",
+    "match_data_compressed",
+]

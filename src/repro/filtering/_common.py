@@ -1,0 +1,35 @@
+"""Internal helpers shared by the BFS-tree-based filters (CFL/CECI/DP-iso).
+
+These implement the primitive of Observation 3.1 / Filtering Rule 3.1:
+checking whether a candidate has at least one neighbor inside another
+candidate set, iterating whichever side is smaller.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence
+
+from repro.graph.graph import Graph
+
+__all__ = ["has_candidate_neighbor", "neighbor_expansion"]
+
+
+def has_candidate_neighbor(
+    data: Graph,
+    v: int,
+    candidate_list: Sequence[int],
+    candidate_set: AbstractSet[int],
+) -> bool:
+    """Whether ``N(v) ∩ C ≠ ∅`` (Filtering Rule 3.1's primitive check)."""
+    neighbor_set = data.neighbor_set(v)
+    if len(candidate_list) <= len(neighbor_set):
+        return any(c in neighbor_set for c in candidate_list)
+    return any(w in candidate_set for w in neighbor_set)
+
+
+def neighbor_expansion(data: Graph, candidate_list: Sequence[int]) -> set:
+    """``N(C) = ∪_{v ∈ C} N(v)`` — the pool of Generation Rule 3.1."""
+    pool: set = set()
+    for v in candidate_list:
+        pool.update(data.neighbor_set(v))
+    return pool

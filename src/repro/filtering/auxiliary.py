@@ -1,0 +1,147 @@
+"""The auxiliary data structure ``A`` maintaining edges between candidates.
+
+Given a query edge ``e(u, u')`` and ``v ∈ C(u)``, the paper defines
+``A_{u'}^{u}(v) = N(v) ∩ C(u')`` — the neighbors of ``v`` inside ``C(u')``
+(Section 2.1). The three preprocessing-enumeration algorithms differ in
+*which* query edges they materialize:
+
+* CFL's compressed path index keeps only the BFS-tree edges,
+* CECI's compact embedding cluster index and DP-iso's candidate space keep
+  every query edge,
+* GraphQL keeps none (its ComputeLC scans ``C(u)`` directly).
+
+``AuxiliaryStructure.build`` takes the final candidate sets and a scope and
+materializes exactly those adjacency lists; contents are identical to what
+an incremental construction would leave behind, since ``A`` is fully
+determined by the final ``C`` sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+from repro.graph.ops import BFSTree
+
+__all__ = ["AuxiliaryStructure", "Scope"]
+
+Scope = Literal["none", "tree", "all"]
+
+_EMPTY: List[int] = []
+
+
+class AuxiliaryStructure:
+    """Candidate-to-candidate adjacency for a chosen set of query edges.
+
+    The structure is directional: the pair ``(u_from, u_to)`` maps each
+    ``v ∈ C(u_from)`` to the sorted list ``N(v) ∩ C(u_to)``. Query edges in
+    scope are materialized in both directions, which is what both Algorithm 4
+    (tree-edge lookups) and Algorithm 5 (set intersections over all backward
+    neighbors) need.
+    """
+
+    __slots__ = ("_tables", "_scope")
+
+    def __init__(
+        self,
+        tables: Dict[Tuple[int, int], Dict[int, List[int]]],
+        scope: Scope,
+    ) -> None:
+        self._tables = tables
+        self._scope = scope
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+        scope: Scope = "all",
+        tree: Optional[BFSTree] = None,
+    ) -> "AuxiliaryStructure":
+        """Materialize ``A`` for the requested scope.
+
+        ``scope="tree"`` requires the BFS tree whose edges should be kept
+        (CFL's ``q_t``); ``scope="all"`` keeps every query edge;
+        ``scope="none"`` produces an empty structure (GraphQL).
+        """
+        if scope == "none":
+            return cls({}, scope)
+        if scope == "tree":
+            if tree is None:
+                raise ConfigurationError("tree scope requires a BFSTree")
+            pairs = [(p, c) for p, c in tree.tree_edges]
+        elif scope == "all":
+            pairs = list(query.edges())
+        else:
+            raise ConfigurationError(f"unknown auxiliary scope {scope!r}")
+
+        tables: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
+        for u, u2 in pairs:
+            tables[(u, u2)] = cls._adjacency(data, candidates, u, u2)
+            tables[(u2, u)] = cls._adjacency(data, candidates, u2, u)
+        return cls(tables, scope)
+
+    @staticmethod
+    def _adjacency(
+        data: Graph, candidates: CandidateSets, u_from: int, u_to: int
+    ) -> Dict[int, List[int]]:
+        """``{v: sorted(N(v) ∩ C(u_to))}`` for each ``v ∈ C(u_from)``."""
+        target = candidates.membership(u_to)
+        table: Dict[int, List[int]] = {}
+        for v in candidates[u_from]:
+            # data.neighbors(v) is sorted, so the filtered list stays sorted.
+            table[v] = [w for w in data.neighbors(v).tolist() if w in target]
+        return table
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def scope(self) -> Scope:
+        """Which query edges were materialized."""
+        return self._scope
+
+    def has_pair(self, u_from: int, u_to: int) -> bool:
+        """Whether the directed pair ``(u_from, u_to)`` is materialized."""
+        return (u_from, u_to) in self._tables
+
+    def neighbors(self, u_from: int, u_to: int, v: int) -> List[int]:
+        """``A_{u_to}^{u_from}(v)``: candidates of ``u_to`` adjacent to ``v``.
+
+        Returns an empty list if ``v`` is not a candidate of ``u_from``;
+        raises ``KeyError`` if the pair itself is not materialized (that is
+        a wiring bug, not a data condition).
+        """
+        return self._tables[(u_from, u_to)].get(v, _EMPTY)
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All materialized directed pairs."""
+        return self._tables.keys()
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored candidate-edge endpoints (both directions)."""
+        return sum(
+            len(adj)
+            for table in self._tables.values()
+            for adj in table.values()
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated footprint at 8 bytes per stored endpoint."""
+        return 8 * self.num_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"AuxiliaryStructure(scope={self._scope!r}, "
+            f"pairs={len(self._tables)}, entries={self.num_entries})"
+        )

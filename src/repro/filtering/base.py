@@ -1,0 +1,106 @@
+"""Filter interface plus the two basic rules every method builds on.
+
+Section 3.1.1: the *label and degree filter* (LDF) admits
+``C(u) = {v | L(v) = L(u) ∧ d(v) ≥ d(u)}`` and is used by every algorithm;
+the *neighbor label frequency filter* (NLF) additionally requires, for each
+label ``l`` among ``u``'s neighbors, ``|N(u, l)| ≤ |N(v, l)|``. CFL, CECI
+and DP-iso layer NLF on top of LDF.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+
+__all__ = [
+    "Filter",
+    "LDFFilter",
+    "NLFFilter",
+    "ldf_check",
+    "ldf_candidates_for",
+    "nlf_check",
+]
+
+
+def ldf_check(query: Graph, u: int, data: Graph, v: int) -> bool:
+    """Label-and-degree check: ``L(v) = L(u)`` and ``d(v) ≥ d(u)``."""
+    return data.label(v) == query.label(u) and data.degree(v) >= query.degree(u)
+
+
+def nlf_check(query: Graph, u: int, data: Graph, v: int) -> bool:
+    """Neighbor-label-frequency check.
+
+    For every label ``l`` appearing among ``u``'s neighbors, ``v`` must have
+    at least as many neighbors with that label.
+    """
+    v_nlf = data.nlf(v)
+    for label, needed in query.nlf(u).items():
+        if v_nlf.get(label, 0) < needed:
+            return False
+    return True
+
+
+def ldf_candidates_for(query: Graph, u: int, data: Graph) -> List[int]:
+    """The sorted LDF candidate list of one query vertex."""
+    du = query.degree(u)
+    return [
+        v
+        for v in data.vertices_with_label(query.label(u)).tolist()
+        if data.degree(v) >= du
+    ]
+
+
+class Filter(ABC):
+    """A candidate-generation method (the paper's "filtering method").
+
+    Implementations must return *complete* candidate sets: every data vertex
+    participating in a match of ``q`` survives filtering (Definition 2.2).
+    """
+
+    #: Short name used in reports (e.g. ``"GQL"``, ``"CFL"``).
+    name: str = "?"
+
+    @abstractmethod
+    def run(self, query: Graph, data: Graph) -> CandidateSets:
+        """Compute candidate sets for every query vertex."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LDFFilter(Filter):
+    """The baseline filter: label and degree only (Figure 8's LDF series)."""
+
+    name = "LDF"
+
+    def run(self, query: Graph, data: Graph) -> CandidateSets:
+        return CandidateSets(
+            query,
+            [ldf_candidates_for(query, u, data) for u in query.vertices()],
+        )
+
+
+class NLFFilter(Filter):
+    """LDF plus the neighbor-label-frequency rule.
+
+    Not an algorithm on its own in the study, but the common starting point
+    of CFL, CECI and DP-iso, and useful as an intermediate baseline.
+    """
+
+    name = "NLF"
+
+    def run(self, query: Graph, data: Graph) -> CandidateSets:
+        return CandidateSets(
+            query,
+            [
+                [
+                    v
+                    for v in ldf_candidates_for(query, u, data)
+                    if nlf_check(query, u, data, v)
+                ]
+                for u in query.vertices()
+            ],
+        )

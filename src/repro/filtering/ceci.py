@@ -1,0 +1,129 @@
+"""CECI's filtering: candidate generation for the compact embedding cluster index.
+
+Section 3.1.1: CECI shares CFL's two rules but differs in the sweep —
+
+1. **Construction + filtering along δ** (the BFS order). ``C(u)`` is
+   generated from its parent set alone; while doing so, parent candidates
+   with no child in ``C(u)`` are ruled out. Then each backward *non-tree*
+   neighbor ``u_n`` prunes ``C(u)`` and is pruned back (bidirectional, per
+   the paper's Example 3.3 where ``v6`` leaves ``C(u1)`` and ``v1`` leaves
+   ``C(u2)``).
+2. **Refinement along reverse δ.** ``C(u)`` keeps only candidates with a
+   neighbor in every *child's* set — children only, which is why the paper
+   finds CECI's pruning power weaker than CFL/DP-iso (Figure 8).
+
+Time and space complexity are both ``O(|E(q)|·|E(G)|)``. CECI's auxiliary
+structure covers every query edge (scope ``"all"``), enabling Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.filtering._common import has_candidate_neighbor
+from repro.filtering.base import Filter, ldf_check, nlf_check
+from repro.filtering.candidates import CandidateSets
+from repro.filtering.roots import ceci_root
+from repro.graph.graph import Graph
+from repro.graph.ops import BFSTree, bfs_tree
+
+__all__ = ["CECIFilter"]
+
+
+class CECIFilter(Filter):
+    """CECI's BFS-order construction and child-based refinement."""
+
+    name = "CECI"
+
+    def run(self, query: Graph, data: Graph) -> CandidateSets:
+        tree = self.build_tree(query, data)
+        lists = self._construct(query, data, tree)
+        self._refine_reverse(data, tree, lists)
+        return CandidateSets(query, lists)
+
+    @staticmethod
+    def build_tree(query: Graph, data: Graph) -> BFSTree:
+        """The BFS tree rooted per CECI's ``argmin |C_NLF(u)|/d(u)`` rule."""
+        return bfs_tree(query, ceci_root(query, data))
+
+    # ------------------------------------------------------------------
+
+    def _construct(
+        self, query: Graph, data: Graph, tree: BFSTree
+    ) -> List[List[int]]:
+        n = query.num_vertices
+        lists: List[Optional[List[int]]] = [None] * n
+        sets: List[Optional[Set[int]]] = [None] * n
+        position = {v: i for i, v in enumerate(tree.order)}
+
+        root = tree.root
+        lists[root] = [
+            v
+            for v in data.vertices_with_label(query.label(root)).tolist()
+            if data.degree(v) >= query.degree(root)
+            and nlf_check(query, root, data, v)
+        ]
+        sets[root] = set(lists[root])
+
+        for u in tree.order[1:]:
+            parent = tree.parent[u]
+            # Generate C(u) from the parent set alone (X = {u_p}).
+            pool: Set[int] = set()
+            for v in lists[parent]:  # type: ignore[union-attr]
+                pool.update(data.neighbor_set(v))
+            generated = [
+                v
+                for v in sorted(pool)
+                if ldf_check(query, u, data, v) and nlf_check(query, u, data, v)
+            ]
+            lists[u] = generated
+            sets[u] = set(generated)
+
+            # Rule out parent candidates with no child in C(u).
+            self._prune_against(data, parent, u, lists, sets)
+
+            # Non-tree backward neighbors prune C(u) and are pruned back.
+            for u_n in query.neighbors(u).tolist():
+                if u_n == parent or lists[u_n] is None:
+                    continue
+                if position[u_n] > position[u]:
+                    continue
+                self._prune_against(data, u, u_n, lists, sets)
+                self._prune_against(data, u_n, u, lists, sets)
+
+        assert all(lst is not None for lst in lists)
+        return lists  # type: ignore[return-value]
+
+    @staticmethod
+    def _prune_against(
+        data: Graph,
+        target: int,
+        anchor: int,
+        lists: List[Optional[List[int]]],
+        sets: List[Optional[Set[int]]],
+    ) -> None:
+        """Keep only candidates of ``target`` with a neighbor in ``C(anchor)``."""
+        kept = [
+            v
+            for v in lists[target]  # type: ignore[union-attr]
+            if has_candidate_neighbor(data, v, lists[anchor], sets[anchor])  # type: ignore[arg-type]
+        ]
+        if len(kept) != len(lists[target]):  # type: ignore[arg-type]
+            lists[target] = kept
+            sets[target] = set(kept)
+
+    def _refine_reverse(
+        self, data: Graph, tree: BFSTree, lists: List[List[int]]
+    ) -> None:
+        """Reverse-δ refinement against children only."""
+        sets = [set(lst) for lst in lists]
+        for u in reversed(tree.order):
+            for child in tree.children[u]:
+                kept = [
+                    v
+                    for v in lists[u]
+                    if has_candidate_neighbor(data, v, lists[child], sets[child])
+                ]
+                if len(kept) != len(lists[u]):
+                    lists[u] = kept
+                    sets[u] = set(kept)

@@ -1,0 +1,10 @@
+"""Glasgow: subgraph matching as constraint programming (paper Section 3.5).
+
+Glasgow cannot be decomposed into the common framework (its variable
+selection, value ordering and propagation are interleaved with the search),
+so — exactly as in the paper — it is compared end-to-end only.
+"""
+
+from repro.glasgow.solver import GlasgowSolver, glasgow_match
+
+__all__ = ["GlasgowSolver", "glasgow_match"]

@@ -1,0 +1,53 @@
+"""Graph substrate: labeled undirected graphs in CSR form plus tooling.
+
+This package provides everything the matching algorithms consume:
+
+* :class:`~repro.graph.graph.Graph` — the immutable CSR graph used for both
+  query and data graphs,
+* :mod:`~repro.graph.io` — readers/writers for the ``.graph`` text format
+  used by the paper's reference repository,
+* :mod:`~repro.graph.generators` — seeded RMAT / Erdős–Rényi generators and
+  label assigners,
+* :mod:`~repro.graph.query_gen` — random-walk query extraction producing the
+  dense/sparse query sets of the paper's Table 4,
+* :mod:`~repro.graph.ops` — 2-core, BFS trees and related structure helpers.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.io import load_graph, loads_graph, save_graph, dumps_graph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    rmat_graph,
+    uniform_labels,
+    zipf_labels,
+)
+from repro.graph.query_gen import extract_query, generate_query_set
+from repro.graph.metrics import (
+    degree_histogram,
+    density,
+    global_clustering_coefficient,
+    triangle_count,
+)
+from repro.graph.ops import bfs_tree, connected, core_vertices, two_core
+
+__all__ = [
+    "Graph",
+    "load_graph",
+    "loads_graph",
+    "save_graph",
+    "dumps_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "uniform_labels",
+    "zipf_labels",
+    "extract_query",
+    "generate_query_set",
+    "bfs_tree",
+    "connected",
+    "core_vertices",
+    "two_core",
+    "triangle_count",
+    "global_clustering_coefficient",
+    "density",
+    "degree_histogram",
+]

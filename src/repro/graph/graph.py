@@ -1,0 +1,323 @@
+"""The labeled undirected graph used throughout the study.
+
+The paper stores data graphs as compressed sparse rows (CSR) with sorted
+neighbor arrays and checks edge existence by binary search (Section 3.3.2).
+We mirror that layout: ``offsets``/``neighbors`` numpy arrays hold the CSR,
+and per-vertex ``frozenset`` views give the O(1) membership checks that the
+pure-Python enumeration loop needs to stay competitive.
+
+Vertices are dense integers ``0 .. n-1``; labels are non-negative integers.
+Graphs are immutable once built, which lets candidate structures and indexes
+cache derived data freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+
+__all__ = ["Graph"]
+
+
+def _normalize_edges(
+    num_vertices: int, edges: Iterable[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Validate and deduplicate an undirected edge list.
+
+    Returns each edge once, as ``(min, max)`` pairs. Self loops and
+    out-of-range endpoints raise :class:`InvalidGraphError`.
+    """
+    seen = set()
+    normalized = []
+    for u, v in edges:
+        u = int(u)
+        v = int(v)
+        if u == v:
+            raise InvalidGraphError(f"self loop on vertex {u} is not allowed")
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise InvalidGraphError(
+                f"edge ({u}, {v}) out of range for {num_vertices} vertices"
+            )
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        normalized.append(key)
+    return normalized
+
+
+class Graph:
+    """An immutable, undirected, vertex-labeled graph in CSR form.
+
+    Parameters
+    ----------
+    labels:
+        Sequence of non-negative integer labels; ``labels[v]`` is the label
+        of vertex ``v``. Its length defines the number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs. Duplicates are collapsed; self loops
+        are rejected.
+
+    Examples
+    --------
+    >>> g = Graph(labels=[0, 1, 1], edges=[(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> g.degree(1)
+    2
+    >>> g.neighbors(1).tolist()
+    [0, 2]
+    """
+
+    __slots__ = (
+        "_labels",
+        "_offsets",
+        "_neighbors",
+        "_neighbor_sets",
+        "_label_index",
+        "_nlf_cache",
+        "_elf_cache",
+        "_num_edges",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[int],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        labels_arr = np.asarray(list(labels), dtype=np.int64)
+        if labels_arr.ndim != 1:
+            raise InvalidGraphError("labels must be a flat sequence")
+        if labels_arr.size and labels_arr.min() < 0:
+            raise InvalidGraphError("labels must be non-negative integers")
+
+        n = int(labels_arr.size)
+        edge_list = _normalize_edges(n, edges)
+
+        degrees = np.zeros(n, dtype=np.int64)
+        for u, v in edge_list:
+            degrees[u] += 1
+            degrees[v] += 1
+
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        neighbors = np.empty(int(offsets[-1]), dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for u, v in edge_list:
+            neighbors[cursor[u]] = v
+            cursor[u] += 1
+            neighbors[cursor[v]] = u
+            cursor[v] += 1
+        for v in range(n):
+            lo, hi = offsets[v], offsets[v + 1]
+            neighbors[lo:hi].sort()
+
+        self._labels = labels_arr
+        self._offsets = offsets
+        self._neighbors = neighbors
+        self._num_edges = len(edge_list)
+        self._neighbor_sets: Tuple[frozenset, ...] = tuple(
+            frozenset(neighbors[offsets[v]:offsets[v + 1]].tolist())
+            for v in range(n)
+        )
+
+        label_index: Dict[int, List[int]] = {}
+        for v, label in enumerate(labels_arr.tolist()):
+            label_index.setdefault(label, []).append(v)
+        self._label_index: Dict[int, np.ndarray] = {
+            label: np.asarray(vs, dtype=np.int64)
+            for label, vs in label_index.items()
+        }
+        self._nlf_cache: List[Dict[int, int]] | None = None
+        self._elf_cache: Dict[Tuple[int, int], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return int(self._labels.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Read-only label array; ``labels[v]`` is the label of ``v``."""
+        return self._labels
+
+    def label(self, v: int) -> int:
+        """Label ``L(v)`` of vertex ``v``."""
+        return int(self._labels[v])
+
+    def degree(self, v: int) -> int:
+        """Degree ``d(v)`` of vertex ``v``."""
+        return int(self._offsets[v + 1] - self._offsets[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array ``N(v)`` (a view into the CSR, do not mutate)."""
+        return self._neighbors[self._offsets[v]:self._offsets[v + 1]]
+
+    def neighbor_set(self, v: int) -> frozenset:
+        """Neighbors of ``v`` as a frozenset for O(1) membership checks."""
+        return self._neighbor_sets[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``e(u, v)`` exists."""
+        return v in self._neighbor_sets[u]
+
+    def vertices(self) -> range:
+        """Iterate vertex ids ``0 .. n-1``."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                v = int(v)
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Label statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def label_set(self) -> frozenset:
+        """The set of labels ``Σ`` that actually occur."""
+        return frozenset(self._label_index)
+
+    def vertices_with_label(self, label: int) -> np.ndarray:
+        """Sorted vertices carrying ``label`` (empty array if absent)."""
+        return self._label_index.get(label, np.empty(0, dtype=np.int64))
+
+    def label_frequency(self, label: int) -> int:
+        """Number of vertices carrying ``label``."""
+        return int(self._label_index.get(label, np.empty(0)).size)
+
+    def nlf(self, v: int) -> Dict[int, int]:
+        """Neighbor label frequency of ``v``: ``{label: |N(v, label)|}``.
+
+        This is the signature used by the NLF filter (Section 3.1.1);
+        computed once per graph and cached.
+        """
+        if self._nlf_cache is None:
+            labels = self._labels
+            cache: List[Dict[int, int]] = []
+            for u in self.vertices():
+                counts: Dict[int, int] = {}
+                for w in self.neighbors(u).tolist():
+                    lbl = int(labels[w])
+                    counts[lbl] = counts.get(lbl, 0) + 1
+                cache.append(counts)
+            self._nlf_cache = cache
+        return self._nlf_cache[v]
+
+    def edge_label_frequency(self, label_a: int, label_b: int) -> int:
+        """Number of edges whose endpoint labels are ``{label_a, label_b}``.
+
+        This is QuickSI's edge weight
+        ``w(e(u, u')) = |{e(v, v') ∈ E(G) | L(v) = L(u) ∧ L(v') = L(u')}|``
+        (Section 3.2); the full table is computed once per graph and cached.
+        """
+        if self._elf_cache is None:
+            table: Dict[Tuple[int, int], int] = {}
+            labels = self._labels
+            for u, v in self.edges():
+                la, lb = int(labels[u]), int(labels[v])
+                key = (la, lb) if la <= lb else (lb, la)
+                table[key] = table.get(key, 0) + 1
+            self._elf_cache = table
+        key = (
+            (label_a, label_b) if label_a <= label_b else (label_b, label_a)
+        )
+        return self._elf_cache.get(key, 0)
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``2|E| / |V|`` (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(np.max(self._offsets[1:] - self._offsets[:-1]))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def induced_subgraph(
+        self, vertex_subset: Iterable[int]
+    ) -> Tuple["Graph", Dict[int, int]]:
+        """Vertex-induced subgraph ``g[V']`` on ``vertex_subset``.
+
+        Returns the new graph (vertices renumbered ``0..k-1`` in ascending
+        order of the originals) and the mapping from new ids to original ids.
+        """
+        chosen = sorted(set(int(v) for v in vertex_subset))
+        for v in chosen:
+            if not (0 <= v < self.num_vertices):
+                raise InvalidGraphError(f"vertex {v} not in graph")
+        old_to_new = {old: new for new, old in enumerate(chosen)}
+        labels = [self.label(v) for v in chosen]
+        edges = [
+            (old_to_new[u], old_to_new[v])
+            for u in chosen
+            for v in self.neighbors(u).tolist()
+            if v in old_to_new and u < v
+        ]
+        new_to_old = {new: old for old, new in old_to_new.items()}
+        return Graph(labels=labels, edges=edges), new_to_old
+
+    def relabeled(self, labels: Sequence[int]) -> "Graph":
+        """A copy of this graph with a fresh label assignment."""
+        if len(labels) != self.num_vertices:
+            raise InvalidGraphError(
+                f"expected {self.num_vertices} labels, got {len(labels)}"
+            )
+        return Graph(labels=labels, edges=list(self.edges()))
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|Σ|={len(self._label_index)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._labels, other._labels)
+            and np.array_equal(self._offsets, other._offsets)
+            and np.array_equal(self._neighbors, other._neighbors)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.num_vertices,
+                self.num_edges,
+                self._labels.tobytes(),
+                self._neighbors.tobytes(),
+            )
+        )

@@ -1,0 +1,110 @@
+"""Readers and writers for the ``.graph`` text format.
+
+The paper's reference repository (RapidsAtHKUST/SubgraphMatching) stores
+graphs as plain text::
+
+    t <num_vertices> <num_edges>
+    v <vertex_id> <label> <degree>
+    ...
+    e <vertex_id> <vertex_id>
+    ...
+
+Vertex ids must be ``0 .. n-1``. The per-vertex degree on the ``v`` line is
+redundant; on load we verify it when present and recompute it on save.
+Blank lines and ``#`` comments are ignored so hand-written fixtures stay
+readable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["load_graph", "loads_graph", "save_graph", "dumps_graph"]
+
+
+def loads_graph(text: str) -> Graph:
+    """Parse a graph from ``.graph``-format text.
+
+    >>> g = loads_graph('t 3 2\\nv 0 5 1\\nv 1 5 2\\nv 2 7 1\\ne 0 1\\ne 1 2\\n')
+    >>> (g.num_vertices, g.num_edges, g.label(2))
+    (3, 2, 7)
+    """
+    header: Tuple[int, int] | None = None
+    labels: List[int] = []
+    declared_degrees: List[int | None] = []
+    edges: List[Tuple[int, int]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if header is not None:
+                raise GraphFormatError(f"line {lineno}: duplicate 't' header")
+            if len(parts) != 3:
+                raise GraphFormatError(f"line {lineno}: 't' needs |V| and |E|")
+            header = (int(parts[1]), int(parts[2]))
+        elif kind == "v":
+            if len(parts) not in (3, 4):
+                raise GraphFormatError(
+                    f"line {lineno}: 'v' needs id and label (degree optional)"
+                )
+            vid = int(parts[1])
+            if vid != len(labels):
+                raise GraphFormatError(
+                    f"line {lineno}: vertex ids must be consecutive from 0, "
+                    f"expected {len(labels)} got {vid}"
+                )
+            labels.append(int(parts[2]))
+            declared_degrees.append(int(parts[3]) if len(parts) == 4 else None)
+        elif kind == "e":
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: 'e' needs two endpoints")
+            edges.append((int(parts[1]), int(parts[2])))
+        else:
+            raise GraphFormatError(f"line {lineno}: unknown record type {kind!r}")
+
+    if header is None:
+        raise GraphFormatError("missing 't <|V|> <|E|>' header")
+    if header[0] != len(labels):
+        raise GraphFormatError(
+            f"header declares {header[0]} vertices but {len(labels)} 'v' lines found"
+        )
+    if header[1] != len(edges):
+        raise GraphFormatError(
+            f"header declares {header[1]} edges but {len(edges)} 'e' lines found"
+        )
+
+    graph = Graph(labels=labels, edges=edges)
+    for v, declared in enumerate(declared_degrees):
+        if declared is not None and declared != graph.degree(v):
+            raise GraphFormatError(
+                f"vertex {v}: declared degree {declared} != actual {graph.degree(v)}"
+            )
+    return graph
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Load a graph from a ``.graph`` file."""
+    return loads_graph(Path(path).read_text())
+
+
+def dumps_graph(graph: Graph) -> str:
+    """Serialize ``graph`` to ``.graph``-format text."""
+    lines = [f"t {graph.num_vertices} {graph.num_edges}"]
+    for v in graph.vertices():
+        lines.append(f"v {v} {graph.label(v)} {graph.degree(v)}")
+    for u, v in graph.edges():
+        lines.append(f"e {u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` in ``.graph`` format."""
+    Path(path).write_text(dumps_graph(graph))

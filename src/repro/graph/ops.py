@@ -1,0 +1,183 @@
+"""Structural graph helpers used by the ordering and filtering methods.
+
+These are the small pieces the paper takes for granted: the 2-core used by
+CFL's ordering, BFS trees (the ``q_t`` of Section 2.1) with tree / non-tree
+edge classification, and connectivity checks for query validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = ["BFSTree", "bfs_tree", "connected", "core_vertices", "two_core"]
+
+
+def connected(graph: Graph) -> bool:
+    """Whether ``graph`` is connected (the empty graph counts as connected)."""
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    seen = [False] * n
+    seen[0] = True
+    queue = deque([0])
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u).tolist():
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                queue.append(v)
+    return count == n
+
+
+def two_core(graph: Graph) -> Set[int]:
+    """Vertices of the 2-core: repeatedly peel vertices of degree < 2.
+
+    Matches the paper's definition — the maximal subgraph in which every
+    vertex has degree ≥ 2 (union over connected components).
+    """
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    removed = [False] * graph.num_vertices
+    queue = deque(v for v in graph.vertices() if degrees[v] < 2)
+    while queue:
+        u = queue.popleft()
+        if removed[u]:
+            continue
+        removed[u] = True
+        for v in graph.neighbors(u).tolist():
+            if not removed[v]:
+                degrees[v] -= 1
+                if degrees[v] < 2:
+                    queue.append(v)
+    return {v for v in graph.vertices() if not removed[v]}
+
+
+def core_vertices(graph: Graph) -> Set[int]:
+    """Alias matching the paper's terminology: vertices in the 2-core of q."""
+    return two_core(graph)
+
+
+@dataclass(frozen=True)
+class BFSTree:
+    """A BFS spanning tree ``q_t`` of a connected graph.
+
+    Attributes
+    ----------
+    root:
+        The BFS root.
+    order:
+        The BFS traversal order ``δ`` (a permutation of the vertices).
+    parent:
+        ``parent[v]`` is the tree parent of ``v`` (``-1`` for the root).
+    children:
+        ``children[v]`` lists tree children in traversal order.
+    depth:
+        ``depth[v]`` is the distance from the root.
+    tree_edges:
+        The edges of ``q_t``, as ``(parent, child)`` pairs.
+    non_tree_edges:
+        Edges of the graph absent from ``q_t``, as ``(u, v)`` with ``u``
+        earlier in ``δ`` than ``v``.
+    """
+
+    root: int
+    order: Tuple[int, ...]
+    parent: Tuple[int, ...]
+    children: Tuple[Tuple[int, ...], ...]
+    depth: Tuple[int, ...]
+    tree_edges: Tuple[Tuple[int, int], ...]
+    non_tree_edges: Tuple[Tuple[int, int], ...]
+    _position: Dict[int, int] = field(repr=False, default_factory=dict)
+
+    def position(self, v: int) -> int:
+        """Index of ``v`` in the traversal order ``δ``."""
+        return self._position[v]
+
+    def vertices_at_depth(self, d: int) -> List[int]:
+        """Vertices at tree depth ``d`` in traversal order."""
+        return [v for v in self.order if self.depth[v] == d]
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depth) if self.depth else 0
+
+    def backward_neighbors(self, graph: Graph, v: int) -> List[int]:
+        """Neighbors of ``v`` positioned before it in ``δ`` (``N_+^δ(v)``)."""
+        pos_v = self._position[v]
+        return [
+            u for u in graph.neighbors(v).tolist() if self._position[u] < pos_v
+        ]
+
+    def root_to_leaf_paths(self) -> List[Tuple[int, ...]]:
+        """All root-to-leaf paths of ``q_t`` (used by CFL's ordering)."""
+        paths: List[Tuple[int, ...]] = []
+
+        def walk(v: int, prefix: List[int]) -> None:
+            prefix = prefix + [v]
+            if not self.children[v]:
+                paths.append(tuple(prefix))
+                return
+            for c in self.children[v]:
+                walk(c, prefix)
+
+        walk(self.root, [])
+        return paths
+
+
+def bfs_tree(graph: Graph, root: int) -> BFSTree:
+    """Build the BFS spanning tree of ``graph`` rooted at ``root``.
+
+    Neighbors are visited in ascending vertex id, so the traversal order δ
+    is deterministic. The graph is assumed connected; unreached vertices
+    raise ``ValueError`` to catch disconnected queries early.
+    """
+    n = graph.num_vertices
+    parent = [-1] * n
+    depth = [-1] * n
+    order: List[int] = []
+    children: List[List[int]] = [[] for _ in range(n)]
+
+    depth[root] = 0
+    queue = deque([root])
+    seen = [False] * n
+    seen[root] = True
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.neighbors(u).tolist():
+            if not seen[v]:
+                seen[v] = True
+                parent[v] = u
+                depth[v] = depth[u] + 1
+                children[u].append(v)
+                queue.append(v)
+
+    if len(order) != n:
+        raise ValueError("bfs_tree requires a connected graph")
+
+    position = {v: i for i, v in enumerate(order)}
+    tree_edges = tuple((parent[v], v) for v in order if parent[v] != -1)
+    tree_edge_set: FrozenSet[Tuple[int, int]] = frozenset(
+        (min(u, v), max(u, v)) for u, v in tree_edges
+    )
+    non_tree_edges = tuple(
+        (u, v) if position[u] < position[v] else (v, u)
+        for u, v in graph.edges()
+        if (u, v) not in tree_edge_set
+    )
+
+    return BFSTree(
+        root=root,
+        order=tuple(order),
+        parent=tuple(parent),
+        children=tuple(tuple(cs) for cs in children),
+        depth=tuple(depth),
+        tree_edges=tree_edges,
+        non_tree_edges=non_tree_edges,
+        _position=position,
+    )

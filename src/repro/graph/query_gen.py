@@ -1,0 +1,171 @@
+"""Query graph generation by random walks on the data graph.
+
+Following the paper's Section 4: "To generate q with specified configuration
+(e.g. |V(q)| = 8 and d(q) ≥ 3), we perform a random walk on G until getting
+the specified number of vertices and extract the induced subgraph to check
+whether the density satisfies the requirement. If so, we add it to the query
+set. Otherwise, we conduct a new random walk."
+
+Dense query sets require average degree ``d(q) ≥ 3``; sparse sets require
+``d(q) < 3``. Queries are connected by construction (they are induced on the
+vertices of one walk) and keep the data graph's labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.errors import InvalidQueryError
+from repro.graph.graph import Graph
+from repro.graph.ops import connected
+
+__all__ = ["extract_query", "generate_query_set", "DENSE_THRESHOLD"]
+
+#: Average-degree threshold separating dense (≥) from sparse (<) query sets.
+DENSE_THRESHOLD = 3.0
+
+Density = Literal["dense", "sparse"]
+
+
+def _random_walk_vertices(
+    graph: Graph, num_vertices: int, rng: np.random.Generator, start: int
+) -> Optional[set]:
+    """Collect ``num_vertices`` distinct vertices via a random walk.
+
+    The walk restarts from an already-collected vertex when it strands in a
+    region it has exhausted; returns ``None`` if it cannot grow (isolated
+    pocket smaller than the request).
+    """
+    collected = {start}
+    current = start
+    stalled = 0
+    steps = 0
+    # Hard step budget: a start inside a connected component smaller than
+    # the request can never succeed, so the walk must be able to give up.
+    max_steps = 128 * num_vertices
+    while len(collected) < num_vertices:
+        steps += 1
+        if steps > max_steps:
+            return None
+        neighbors = graph.neighbors(current)
+        if neighbors.size == 0:
+            return None
+        current = int(neighbors[rng.integers(0, neighbors.size)])
+        if current in collected:
+            stalled += 1
+            if stalled > 16 * num_vertices:
+                # Jump to a random collected vertex to escape dead ends.
+                pool = list(collected)
+                current = pool[int(rng.integers(0, len(pool)))]
+                stalled = 0
+        else:
+            collected.add(current)
+            stalled = 0
+    return collected
+
+
+def _density_ok(query: Graph, density: Optional[Density]) -> bool:
+    if density is None:
+        return True
+    if density == "dense":
+        return query.average_degree >= DENSE_THRESHOLD
+    return query.average_degree < DENSE_THRESHOLD
+
+
+def extract_query(
+    data_graph: Graph,
+    num_vertices: int,
+    seed: int,
+    density: Optional[Density] = None,
+    max_attempts: int = 2000,
+) -> Graph:
+    """Extract one connected query graph of ``num_vertices`` vertices.
+
+    Parameters
+    ----------
+    data_graph:
+        The graph to walk on.
+    num_vertices:
+        Requested ``|V(q)|`` (must be ≥ 3 per the paper's problem setting).
+    seed:
+        Deterministic seed for the walk.
+    density:
+        ``"dense"`` requires ``d(q) ≥ 3``, ``"sparse"`` requires ``d(q) < 3``,
+        ``None`` accepts anything.
+    max_attempts:
+        Number of fresh walks before giving up with
+        :class:`~repro.errors.InvalidQueryError`.
+    """
+    if num_vertices < 3:
+        raise InvalidQueryError("queries must have at least 3 vertices")
+    if num_vertices > data_graph.num_vertices:
+        raise InvalidQueryError(
+            f"cannot extract {num_vertices} vertices from a graph with "
+            f"{data_graph.num_vertices}"
+        )
+    if density == "dense" and num_vertices - 1 < DENSE_THRESHOLD:
+        raise InvalidQueryError(
+            f"a {num_vertices}-vertex graph caps at average degree "
+            f"{num_vertices - 1} < {DENSE_THRESHOLD}; dense queries need "
+            "at least 4 vertices"
+        )
+    rng = np.random.default_rng(seed)
+    degrees = np.asarray([data_graph.degree(v) for v in data_graph.vertices()])
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise InvalidQueryError("data graph has no edges to walk on")
+
+    # Dense requests start from high-degree vertices (dense regions),
+    # sparse requests from low-degree ones; this keeps the rejection
+    # sampling loop short without changing the induced-subgraph semantics.
+    if density == "dense":
+        order = eligible[np.argsort(-degrees[eligible], kind="stable")]
+        starts = order[: max(1, order.size // 4)]
+    elif density == "sparse":
+        order = eligible[np.argsort(degrees[eligible], kind="stable")]
+        starts = order[: max(1, order.size // 2)]
+    else:
+        starts = eligible
+
+    for _ in range(max_attempts):
+        start = int(starts[rng.integers(0, starts.size)])
+        vertex_set = _random_walk_vertices(data_graph, num_vertices, rng, start)
+        if vertex_set is None:
+            continue
+        query, _ = data_graph.induced_subgraph(vertex_set)
+        if not connected(query):
+            continue
+        if _density_ok(query, density):
+            return query
+    raise InvalidQueryError(
+        f"could not extract a {density or 'any'} query with {num_vertices} "
+        f"vertices after {max_attempts} attempts"
+    )
+
+
+def generate_query_set(
+    data_graph: Graph,
+    num_vertices: int,
+    count: int,
+    seed: int,
+    density: Optional[Density] = None,
+    max_attempts_per_query: int = 2000,
+) -> List[Graph]:
+    """Generate a query set of ``count`` connected queries.
+
+    Mirrors the paper's query sets (``Q_iD`` / ``Q_iS``): all queries share
+    ``|V(q)| = num_vertices`` and the requested density class. Each query
+    gets an independent derived seed so sets are reproducible and extendable.
+    """
+    return [
+        extract_query(
+            data_graph,
+            num_vertices,
+            seed=seed * 1_000_003 + i,
+            density=density,
+            max_attempts=max_attempts_per_query,
+        )
+        for i in range(count)
+    ]

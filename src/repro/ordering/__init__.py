@@ -1,0 +1,42 @@
+"""Ordering methods: matching-order generation (paper Section 3.2).
+
+The study's second axis. Each class implements
+:class:`~repro.ordering.base.Ordering` and returns a connected permutation
+of the query vertices; DP-iso additionally supports adaptive selection at
+enumeration time via :class:`~repro.ordering.dpiso.DPisoAdaptiveState`.
+"""
+
+from repro.ordering.base import Ordering, validate_order
+from repro.ordering.ceci import CECIOrdering
+from repro.ordering.cfl import CFLOrdering
+from repro.ordering.dpiso import (
+    DPisoAdaptiveState,
+    DPisoOrdering,
+    compute_path_weights,
+)
+from repro.ordering.graphql import GraphQLOrdering
+from repro.ordering.quicksi import QuickSIOrdering
+from repro.ordering.ri import RIOrdering
+from repro.ordering.spectrum import (
+    RandomOrdering,
+    random_connected_order,
+    sample_orders,
+)
+from repro.ordering.vf2pp import VF2ppOrdering
+
+__all__ = [
+    "Ordering",
+    "validate_order",
+    "QuickSIOrdering",
+    "GraphQLOrdering",
+    "CFLOrdering",
+    "CECIOrdering",
+    "DPisoOrdering",
+    "DPisoAdaptiveState",
+    "compute_path_weights",
+    "RIOrdering",
+    "VF2ppOrdering",
+    "RandomOrdering",
+    "random_connected_order",
+    "sample_orders",
+]

@@ -1,0 +1,70 @@
+"""Ordering interface: how query vertices are arranged for enumeration.
+
+Section 3.2's second study axis. An ordering produces a *matching order*
+``φ`` — a permutation of ``V(q)`` (Definition 2.3). All orderings here keep
+φ *connected*: every vertex after the first has at least one backward
+neighbor, so the enumeration never takes a blind cartesian product unless a
+spectrum experiment asks for it explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+
+__all__ = ["Ordering", "validate_order"]
+
+
+class Ordering(ABC):
+    """A matching-order generation method.
+
+    ``candidates`` is the filtered candidate structure — orderings that are
+    candidate-aware (GraphQL, CFL, CECI, DP-iso) consult it; purely
+    structural methods (RI) and statistics-based methods (QuickSI, VF2++)
+    ignore it and accept ``None``.
+    """
+
+    #: Short name used in reports (e.g. ``"RI"``).
+    name: str = "?"
+
+    #: Whether :meth:`order` requires candidate sets.
+    needs_candidates: bool = False
+
+    @abstractmethod
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        """Produce the matching order φ (a permutation of ``V(q)``)."""
+
+    def _require_candidates(
+        self, candidates: Optional[CandidateSets]
+    ) -> CandidateSets:
+        if candidates is None:
+            raise ValueError(f"{self.name} ordering requires candidate sets")
+        return candidates
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def validate_order(query: Graph, order: List[int]) -> None:
+    """Assert ``order`` is a connected permutation of ``V(q)``.
+
+    Raises ``ValueError`` otherwise. Used by tests and by the engine in
+    debug scenarios; orderings are expected to always satisfy this.
+    """
+    if sorted(order) != list(query.vertices()):
+        raise ValueError(f"{order} is not a permutation of V(q)")
+    placed = {order[0]}
+    for u in order[1:]:
+        if not any(w in placed for w in query.neighbors(u).tolist()):
+            raise ValueError(
+                f"vertex {u} has no backward neighbor in order {order}"
+            )
+        placed.add(u)

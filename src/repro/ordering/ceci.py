@@ -1,0 +1,33 @@
+"""CECI's ordering: the BFS traversal order itself (Section 3.2).
+
+CECI picks the root ``argmin_u |C(u)| / d(u)`` (with NLF candidates) and
+uses the resulting BFS traversal order δ as the matching order — the same
+order its index was built along.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.filtering.candidates import CandidateSets
+from repro.filtering.ceci import CECIFilter
+from repro.graph.graph import Graph
+from repro.ordering.base import Ordering
+
+__all__ = ["CECIOrdering"]
+
+
+class CECIOrdering(Ordering):
+    """BFS traversal order from CECI's root-selection rule."""
+
+    name = "CECI"
+    needs_candidates = False
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        tree = CECIFilter.build_tree(query, data)
+        return list(tree.order)

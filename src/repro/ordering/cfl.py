@@ -1,0 +1,133 @@
+"""CFL's path-based ordering (Section 3.2).
+
+CFL decomposes the BFS tree ``q_t`` into root-to-leaf paths and orders
+whole paths at a time, starting from the path minimizing
+``c(P) / |NT(P)|`` — estimated path-embedding count per adjacent non-tree
+edge — then repeatedly appending the path minimizing ``c(P^u) / |C(u)|``,
+where ``u`` is the vertex connecting the path to φ and ``P^u`` the suffix
+below it. ``c(·)`` comes from a dynamic-programming weight array counting
+path embeddings in the candidate space.
+
+The paper's analysis (Section 5.3) attributes CFL's unsolved queries to
+exactly this structure: scoring paths in isolation puts low priority on the
+edges *between* paths, so non-tree edges land late in φ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.filtering.candidates import CandidateSets
+from repro.filtering.cfl import CFLFilter
+from repro.graph.graph import Graph
+from repro.graph.ops import BFSTree
+from repro.ordering.base import Ordering
+
+__all__ = ["CFLOrdering"]
+
+
+def _path_suffix_counts(
+    data: Graph, candidates: CandidateSets, path: Tuple[int, ...]
+) -> Dict[int, float]:
+    """``suffix_count[u] = Σ_{v ∈ C(u)} W[u][v]`` for every ``u`` on the path.
+
+    ``W[u][v]`` counts embeddings of the path suffix starting at ``u`` that
+    map ``u`` to ``v``, walking candidate adjacency bottom-up — the weight
+    array of CFL's ordering.
+    """
+    weights: Dict[int, float] = {v: 1.0 for v in candidates[path[-1]]}
+    suffix_count = {path[-1]: float(len(candidates[path[-1]]))}
+    for i in range(len(path) - 2, -1, -1):
+        u, u_next = path[i], path[i + 1]
+        next_set = candidates.membership(u_next)
+        new_weights: Dict[int, float] = {}
+        for v in candidates[u]:
+            total = 0.0
+            for w in data.neighbors(v).tolist():
+                if w in next_set:
+                    total += weights.get(w, 0.0)
+            new_weights[v] = total
+        weights = new_weights
+        suffix_count[u] = sum(weights.values())
+    return suffix_count
+
+
+class CFLOrdering(Ordering):
+    """Core-rooted, path-at-a-time ordering driven by path-count estimates."""
+
+    name = "CFL"
+    needs_candidates = True
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        cand = self._require_candidates(candidates)
+        tree = CFLFilter.build_tree(query, data)
+        paths = tree.root_to_leaf_paths()
+
+        suffix_counts = [
+            _path_suffix_counts(data, cand, path) for path in paths
+        ]
+        non_tree_counts = [
+            self._adjacent_non_tree_edges(tree, path) for path in paths
+        ]
+
+        remaining = list(range(len(paths)))
+        # First path: minimize c(P) / |NT(P)|.
+        first = min(
+            remaining,
+            key=lambda i: (
+                suffix_counts[i][paths[i][0]] / max(1, non_tree_counts[i]),
+                i,
+            ),
+        )
+        phi: List[int] = []
+        placed = set()
+        self._append_path(paths[first], phi, placed)
+        remaining.remove(first)
+
+        # Remaining paths: minimize c(P^u) / |C(u)| at the connection vertex.
+        while remaining:
+            def path_key(i: int) -> Tuple[float, int]:
+                path = paths[i]
+                connection = self._connection_vertex(path, placed)
+                cost = suffix_counts[i][connection]
+                return (cost / max(1, cand.size(connection)), i)
+
+            best = min(remaining, key=path_key)
+            self._append_path(paths[best], phi, placed)
+            remaining.remove(best)
+        return phi
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _adjacent_non_tree_edges(tree: BFSTree, path: Tuple[int, ...]) -> int:
+        """``|NT(P)|``: non-tree edges with an endpoint on the path."""
+        on_path = set(path)
+        return sum(
+            1
+            for u, v in tree.non_tree_edges
+            if u in on_path or v in on_path
+        )
+
+    @staticmethod
+    def _connection_vertex(path: Tuple[int, ...], placed: set) -> int:
+        """Deepest path vertex already in φ (paths share their root prefix)."""
+        connection = path[0]
+        for u in path:
+            if u in placed:
+                connection = u
+            else:
+                break
+        return connection
+
+    @staticmethod
+    def _append_path(path: Tuple[int, ...], phi: List[int], placed: set) -> None:
+        for u in path:
+            if u not in placed:
+                phi.append(u)
+                placed.add(u)

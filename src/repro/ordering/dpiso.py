@@ -1,0 +1,157 @@
+"""DP-iso's ordering: static BFS backbone + adaptive selection (Section 3.2).
+
+DP-iso directs the query along a BFS order δ from
+``argmin_u |C_LDF(u)| / d(u)``, deprioritizes degree-one vertices, and
+builds a weight array estimating how many embeddings in the candidate space
+extend each candidate through the maximal *tree-like* paths below it
+(a path is tree-like when every vertex after the first has exactly one
+backward neighbor w.r.t. δ).
+
+At enumeration time the order is *adaptive*: a vertex is extendable once
+all its δ-backward neighbors are mapped; DP-iso computes ``LC(u, M)`` for
+every extendable vertex and picks the one with the least estimated work
+(the sum of its local candidates' weights). :class:`DPisoOrdering` provides
+the static backbone (used when adaptivity is disabled, e.g. the Figure 11
+ordering comparison runs it as a static method); :class:`DPisoAdaptiveState`
+packages what the engine needs for the adaptive mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.filtering.candidates import CandidateSets
+from repro.filtering.dpiso import DPisoFilter
+from repro.graph.graph import Graph
+from repro.ordering.base import Ordering
+
+__all__ = ["DPisoOrdering", "DPisoAdaptiveState", "compute_path_weights"]
+
+
+def _delta_positions(query: Graph, data: Graph) -> Tuple[List[int], Dict[int, int]]:
+    tree = DPisoFilter.build_tree(query, data)
+    order = list(tree.order)
+    return order, {u: i for i, u in enumerate(order)}
+
+
+def compute_path_weights(
+    query: Graph,
+    data: Graph,
+    candidates: CandidateSets,
+    position: Dict[int, int],
+) -> List[Dict[int, float]]:
+    """Weight array ``W[u][v]``: embeddings of the maximal tree-like paths
+    below ``u`` that map ``u`` to ``v``.
+
+    A δ-later neighbor ``u'`` of ``u`` contributes when ``u`` is its *only*
+    δ-backward neighbor (that is what makes the path below it tree-like).
+    Contributions multiply across children and sum across each child's
+    candidates, the usual path-count dynamic program.
+    """
+    n = query.num_vertices
+    weights: List[Dict[int, float]] = [dict() for _ in range(n)]
+    backward_degree = [
+        sum(1 for w in query.neighbors(u).tolist() if position[w] < position[u])
+        for u in range(n)
+    ]
+    by_position = sorted(range(n), key=lambda u: position[u], reverse=True)
+    for u in by_position:
+        tree_children = [
+            w
+            for w in query.neighbors(u).tolist()
+            if position[w] > position[u] and backward_degree[w] == 1
+        ]
+        table: Dict[int, float] = {}
+        for v in candidates[u]:
+            weight = 1.0
+            for child in tree_children:
+                child_set = candidates.membership(child)
+                child_weights = weights[child]
+                total = sum(
+                    child_weights.get(w, 0.0)
+                    for w in data.neighbors(v).tolist()
+                    if w in child_set
+                )
+                weight *= total
+                if weight == 0.0:
+                    break
+            table[v] = weight
+        weights[u] = table
+    return weights
+
+
+@dataclass(frozen=True)
+class DPisoAdaptiveState:
+    """Everything the engine needs to run DP-iso's adaptive selection."""
+
+    #: δ-position of each query vertex (extendability is defined against δ).
+    position: Dict[int, int]
+    #: The static backbone order (used as the final tie-break).
+    static_order: List[int]
+    #: ``W[u][v]`` weight array for work estimation.
+    weights: List[Dict[int, float]]
+    #: Degree-one query vertices, selected only when nothing else is extendable.
+    degree_one: frozenset
+
+    def estimated_work(self, u: int, local_candidates: List[int]) -> float:
+        table = self.weights[u]
+        return sum(table.get(v, 0.0) for v in local_candidates)
+
+
+class DPisoOrdering(Ordering):
+    """DP-iso's static backbone order (δ restricted to V', degree-one last)."""
+
+    name = "DP"
+    needs_candidates = True
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        self._require_candidates(candidates)
+        delta, _ = _delta_positions(query, data)
+        degree_one = {u for u in query.vertices() if query.degree(u) == 1}
+        prioritized = [u for u in delta if u not in degree_one]
+
+        # Re-thread the prioritized vertices so φ stays connected even when
+        # δ reaches them through degree-one vertices.
+        phi: List[int] = []
+        placed = set()
+        remaining = list(prioritized)
+        while remaining:
+            pick = None
+            if not phi:
+                pick = remaining[0]
+            else:
+                for u in remaining:
+                    if any(w in placed for w in query.neighbors(u).tolist()):
+                        pick = u
+                        break
+            assert pick is not None, "query core must be connected"
+            phi.append(pick)
+            placed.add(pick)
+            remaining.remove(pick)
+
+        phi.extend(u for u in delta if u in degree_one)
+        return phi
+
+    def adaptive_state(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: CandidateSets,
+    ) -> DPisoAdaptiveState:
+        """Build the adaptive-selection state for the engine."""
+        delta, position = _delta_positions(query, data)
+        weights = compute_path_weights(query, data, candidates, position)
+        return DPisoAdaptiveState(
+            position=position,
+            static_order=self.order(query, data, candidates),
+            weights=weights,
+            degree_one=frozenset(
+                u for u in query.vertices() if query.degree(u) == 1
+            ),
+        )

@@ -1,0 +1,98 @@
+"""RI's purely structural ordering (Section 3.2).
+
+RI starts from the largest-degree query vertex and greedily appends the
+frontier vertex with the most backward neighbors (most neighbors already in
+φ), breaking ties by, in order:
+
+1. the number of vertices in φ adjacent to ``u`` that also have a neighbor
+   outside φ,
+2. the number of neighbors of ``u`` outside φ that are not adjacent to any
+   vertex of φ,
+3. vertex id (ours, for determinism).
+
+RI never looks at the data graph — which is why the paper finds it
+excellent on sparse data graphs (backward edges terminate invalid paths
+early) but poor on dense ones, where data statistics matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+from repro.ordering.base import Ordering
+
+__all__ = ["RIOrdering"]
+
+
+class RIOrdering(Ordering):
+    """Max-backward-neighbors greedy with RI's two tie-break rules."""
+
+    name = "RI"
+    needs_candidates = False
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        start = max(query.vertices(), key=lambda u: (query.degree(u), -u))
+        phi = [start]
+        placed: Set[int] = {start}
+
+        while len(phi) < query.num_vertices:
+            frontier = {
+                w
+                for u in placed
+                for w in query.neighbors(u).tolist()
+                if w not in placed
+            }
+            best = max(
+                frontier,
+                key=lambda u: (
+                    self._backward_count(query, u, placed),
+                    self._tiebreak_frontier_support(query, u, placed),
+                    self._tiebreak_unexplored_reach(query, u, placed),
+                    -u,
+                ),
+            )
+            phi.append(best)
+            placed.add(best)
+        return phi
+
+    @staticmethod
+    def _backward_count(query: Graph, u: int, placed: Set[int]) -> int:
+        """``|N(u) ∩ φ|`` — the primary RI score."""
+        return sum(1 for w in query.neighbors(u).tolist() if w in placed)
+
+    @staticmethod
+    def _tiebreak_frontier_support(
+        query: Graph, u: int, placed: Set[int]
+    ) -> int:
+        """Vertices of φ adjacent to ``u`` that keep a neighbor outside φ."""
+        count = 0
+        for u_prime in query.neighbors(u).tolist():
+            if u_prime not in placed:
+                continue
+            if any(
+                w not in placed for w in query.neighbors(u_prime).tolist()
+            ):
+                count += 1
+        return count
+
+    @staticmethod
+    def _tiebreak_unexplored_reach(
+        query: Graph, u: int, placed: Set[int]
+    ) -> int:
+        """Neighbors of ``u`` outside φ with no edge into φ at all."""
+        count = 0
+        for u_prime in query.neighbors(u).tolist():
+            if u_prime in placed:
+                continue
+            if all(
+                w not in placed for w in query.neighbors(u_prime).tolist()
+            ):
+                count += 1
+        return count

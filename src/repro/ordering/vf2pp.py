@@ -1,0 +1,65 @@
+"""VF2++'s BFS-level ordering (Section 3.2).
+
+The root is the query vertex whose label is rarest in the data graph,
+breaking ties toward larger degree. VF2++ then fills φ level by level down
+the BFS tree; inside a level it repeatedly takes the vertex with the most
+neighbors already in φ, tie-broken by (1) larger degree, then (2) rarer
+label in G, then vertex id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+from repro.graph.ops import bfs_tree
+from repro.ordering.base import Ordering
+
+__all__ = ["VF2ppOrdering"]
+
+
+class VF2ppOrdering(Ordering):
+    """Rarest-label root + level-by-level most-connected-first ordering."""
+
+    name = "2PP"
+    needs_candidates = False
+
+    def order(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets] = None,
+    ) -> List[int]:
+        root = min(
+            query.vertices(),
+            key=lambda u: (
+                data.label_frequency(query.label(u)),
+                -query.degree(u),
+                u,
+            ),
+        )
+        tree = bfs_tree(query, root)
+
+        phi: List[int] = []
+        placed = set()
+        for depth in range(tree.max_depth + 1):
+            level = set(tree.vertices_at_depth(depth))
+            while level:
+                best = max(
+                    level,
+                    key=lambda u: (
+                        sum(
+                            1
+                            for w in query.neighbors(u).tolist()
+                            if w in placed
+                        ),
+                        query.degree(u),
+                        -data.label_frequency(query.label(u)),
+                        -u,
+                    ),
+                )
+                phi.append(best)
+                placed.add(best)
+                level.discard(best)
+        return phi

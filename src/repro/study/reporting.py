@@ -1,0 +1,79 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmark harness prints each figure/table of the paper as rows or
+series; these helpers keep the formatting consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_float"]
+
+
+def format_float(value: Optional[float], precision: int = 2) -> str:
+    """Render a float cell; ``None`` becomes ``-``."""
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 100_000 or 0 < abs(value) < 0.01:
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width ASCII table.
+
+    >>> print(format_table(['a', 'b'], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    cells = [
+        [
+            format_float(c) if isinstance(c, float) else str(c)
+            for c in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_labels: Sequence[object],
+    series: Dict[str, Sequence[Optional[float]]],
+) -> str:
+    """A figure rendered as one row per series over shared x labels.
+
+    Mirrors how the paper's line plots read: the x axis is a parameter
+    sweep, each series is one algorithm.
+    """
+    headers = ["series"] + [str(x) for x in x_labels]
+    rows: List[List[object]] = []
+    for name in series:
+        values = series[name]
+        rows.append(
+            [name] + [format_float(v) if v is not None else "-" for v in values]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,24 @@
+"""Shared low-level utilities: set-intersection kernels and timing helpers."""
+
+from repro.utils.intersection import (
+    BitmapSetIndex,
+    QFilterIndex,
+    intersect,
+    intersect_galloping,
+    intersect_hybrid,
+    intersect_merge,
+    multi_intersect,
+)
+from repro.utils.timer import Deadline, Timer
+
+__all__ = [
+    "BitmapSetIndex",
+    "QFilterIndex",
+    "intersect",
+    "intersect_galloping",
+    "intersect_hybrid",
+    "intersect_merge",
+    "multi_intersect",
+    "Deadline",
+    "Timer",
+]

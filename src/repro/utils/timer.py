@@ -1,0 +1,81 @@
+"""Timing helpers: a context-manager stopwatch and a cooperative deadline.
+
+The paper measures preprocessing time and enumeration time separately and
+kills queries after five minutes. :class:`Timer` provides the split
+measurement; :class:`Deadline` provides the cooperative kill — the
+enumeration engine polls it every few thousand expansion steps.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+__all__ = ["Timer", "Deadline"]
+
+
+class Timer:
+    """A simple stopwatch usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time in milliseconds (the paper's reporting unit)."""
+        return self.elapsed * 1000.0
+
+
+class Deadline:
+    """A wall-clock budget checked cooperatively.
+
+    ``Deadline(None)`` never expires. ``remaining`` can go negative once
+    expired, which callers may use for overshoot accounting.
+
+    >>> Deadline(None).expired()
+    False
+    """
+
+    __slots__ = ("_limit", "_start")
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline must be positive (or None for no limit)")
+        self._limit = seconds
+        self._start = time.perf_counter()
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        if self._limit is None:
+            return False
+        return time.perf_counter() - self._start > self._limit
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited)."""
+        if self._limit is None:
+            return math.inf
+        return self._limit - (time.perf_counter() - self._start)
+
+    @property
+    def limit(self) -> Optional[float]:
+        """The configured budget in seconds, or ``None``."""
+        return self._limit

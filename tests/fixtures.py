@@ -1,0 +1,74 @@
+"""Shared test fixtures, including the paper's Figure 1 running example.
+
+The query/data pair below is reconstructed from the paper's worked examples
+(3.1-3.4) so that every documented intermediate result can be asserted:
+
+* labels: A=0, B=1, C=2, D=3;
+* query ``q``: u0(A)-u1(B), u0-u2(C), u1-u2, u1-u3(D), u2-u3 — the profile
+  of u1 within distance 1 is ABCD, as in the paper;
+* the BFS tree from u0 has tree edges (u0,u1), (u0,u2), (u1,u3) and
+  non-tree edges (u1,u2), (u2,u3), matching the thick lines of Figure 1;
+* GraphQL's local pruning yields C(u0)={v0}, C(u1)={v2,v4,v6},
+  C(u2)={v1,v3,v5}, C(u3)={v10,v12} (Example 3.1), the global refinement
+  removes v1 and v6;
+* CFL/CECI converge to C(u1)={v2,v4}, C(u2)={v3,v5} (Examples 3.2-3.3),
+  DP-iso additionally removes v2 (it "conducts more refinement", §5.1),
+  and A^{u1}_{u3}(v4) = {v10, v12};
+* exactly two matches exist: (v0,v4,v3,v10) and (v0,v4,v5,v12) — the
+  latter is the match quoted in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph
+
+A, B, C, D = 0, 1, 2, 3
+
+#: Query graph of Figure 1(a). Vertices: u0=A, u1=B, u2=C, u3=D.
+PAPER_QUERY = Graph(
+    labels=[A, B, C, D],
+    edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+)
+
+#: Data graph of Figure 1(b): 13 vertices v0..v12.
+PAPER_DATA = Graph(
+    labels=[
+        A,  # v0
+        C,  # v1
+        B,  # v2
+        C,  # v3
+        B,  # v4
+        C,  # v5
+        B,  # v6
+        D,  # v7
+        B,  # v8
+        C,  # v9
+        D,  # v10
+        D,  # v11
+        D,  # v12
+    ],
+    edges=[
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6),
+        (1, 2), (1, 7),
+        (2, 12),
+        (3, 4), (3, 10),
+        (4, 5), (4, 10), (4, 12),
+        (5, 12),
+        (6, 9), (6, 11),
+        (8, 9),
+    ],
+)
+
+#: The two matches of PAPER_QUERY in PAPER_DATA, as tuples indexed by query
+#: vertex: mapping[i] is the data vertex matched to query vertex u_i.
+PAPER_MATCHES = frozenset({(0, 4, 3, 10), (0, 4, 5, 12)})
+
+#: Candidate sets after GraphQL's local pruning (Example 3.1).
+GQL_LOCAL_CANDIDATES = {0: [0], 1: [2, 4, 6], 2: [1, 3, 5], 3: [10, 12]}
+
+#: Final candidate sets after CFL/CECI refinement (Examples 3.2-3.3) and
+#: after GraphQL's global refinement.
+REFINED_CANDIDATES = {0: [0], 1: [2, 4], 2: [3, 5], 3: [10, 12]}
+
+#: DP-iso's (and the steady state's) stronger result: v2 is also pruned.
+DPISO_CANDIDATES = {0: [0], 1: [4], 2: [3, 5], 3: [10, 12]}

@@ -1,0 +1,89 @@
+"""Contract tests: what breaks when a component violates its invariant.
+
+The framework's correctness rests on two contracts — filter completeness
+and order connectivity. These tests *inject* violations and assert the
+documented failure mode, so the contracts stay visible and the
+surrounding checks stay honest.
+"""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro.enumeration import BacktrackingEngine, CandidateScanLC, IntersectionLC
+from repro.filtering import AuxiliaryStructure, CandidateSets, GraphQLFilter
+from repro.filtering.base import Filter
+from repro.ordering import GraphQLOrdering, validate_order
+
+
+class _IncompleteFilter(Filter):
+    """Deliberately broken: drops v4, which every match uses."""
+
+    name = "BROKEN"
+
+    def run(self, query, data):
+        good = GraphQLFilter().run(query, data)
+        return CandidateSets(
+            query,
+            [[v for v in good[u] if v != 4] for u in query.vertices()],
+        )
+
+
+class TestFilterCompletenessContract:
+    def test_incomplete_filter_loses_matches(self):
+        """An incomplete filter silently loses answers — this is WHY the
+        completeness property test exists for every real filter."""
+        candidates = _IncompleteFilter().run(PAPER_QUERY, PAPER_DATA)
+        aux = AuxiliaryStructure.build(
+            PAPER_QUERY, PAPER_DATA, candidates, scope="all"
+        )
+        order = GraphQLOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, candidates, aux, order
+        )
+        assert out.num_matches == 0  # both true matches map u1 -> v4
+
+    def test_real_filters_keep_match_images(self):
+        candidates = GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+        for embedding in PAPER_MATCHES:
+            for u, v in enumerate(embedding):
+                assert candidates.contains(u, v)
+
+
+class TestOrderConnectivityContract:
+    def test_disconnected_order_detected(self):
+        from repro.graph import Graph
+
+        path = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="backward neighbor"):
+            validate_order(path, [0, 3, 1, 2])
+
+    def test_engine_survives_anchor_free_positions(self):
+        """Spectrum experiments may hand the engine a disconnected order;
+        LC methods must fall back to full candidate scans, producing the
+        right answer at cartesian-product cost."""
+        candidates = GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+        # Query edges: (0,1),(0,2),(1,2),(1,3),(2,3). Order [3, 0, ...]:
+        # u0 has no backward neighbor (not adjacent to u3).
+        order = [3, 0, 1, 2]
+        out = BacktrackingEngine(CandidateScanLC()).run(
+            PAPER_QUERY, PAPER_DATA, candidates, None, order
+        )
+        assert set(out.embeddings) == PAPER_MATCHES
+
+
+class TestSpecWiringContract:
+    def test_lc_without_required_candidates_rejected(self):
+        from repro.errors import ConfigurationError
+
+        engine = BacktrackingEngine(CandidateScanLC())
+        with pytest.raises(ConfigurationError):
+            engine.run(PAPER_QUERY, PAPER_DATA, None, None, [0, 1, 2, 3])
+
+    def test_intersection_without_auxiliary_rejected(self):
+        from repro.errors import ConfigurationError
+
+        candidates = GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+        engine = BacktrackingEngine(IntersectionLC())
+        with pytest.raises(ConfigurationError):
+            engine.run(PAPER_QUERY, PAPER_DATA, candidates, None, [0, 1, 2, 3])

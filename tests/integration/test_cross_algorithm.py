@@ -1,0 +1,81 @@
+"""Integration: every algorithm returns identical results on shared instances.
+
+The core claim of the common-framework methodology: filtering, ordering and
+enumeration choices change *cost*, never *answers*. All presets, the
+Glasgow solver and the oracles must agree embedding-for-embedding.
+"""
+
+import pytest
+
+from repro import available_algorithms, match
+from repro.baselines import vf2_matches
+from repro.glasgow import glasgow_match
+from repro.graph import extract_query, rmat_graph
+from repro.study import load_dataset
+
+ALL_PRESETS = [n for n in available_algorithms() if n != "recommended"]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """A spread of query/data pairs: labeled, near-unlabeled, dense, sparse."""
+    cases = []
+    rich = rmat_graph(250, 8.0, 6, seed=51, clustering=0.3)
+    poor = rmat_graph(250, 6.0, 2, seed=52, clustering=0.3)
+    for i, host in enumerate([rich, poor]):
+        for size in (4, 6):
+            cases.append((extract_query(host, size, seed=100 + 7 * i + size), host))
+    return cases
+
+
+class TestAllPresetsAgree:
+    def test_identical_embeddings(self, instances):
+        for query, data in instances:
+            reference = vf2_matches(query, data)
+            for name in ALL_PRESETS + ["recommended"]:
+                result = match(
+                    query,
+                    data,
+                    algorithm=name,
+                    match_limit=None,
+                    store_limit=len(reference) + 1,
+                )
+                assert result.solved, name
+                assert result.num_matches == len(reference), name
+                assert set(result.embeddings) == set(reference), (
+                    name,
+                    query.num_vertices,
+                )
+
+    def test_glasgow_agrees(self, instances):
+        for query, data in instances:
+            reference = vf2_matches(query, data)
+            result = glasgow_match(
+                query, data, match_limit=None, store_limit=len(reference) + 1
+            )
+            assert set(result.embeddings) == set(reference)
+
+
+class TestOnDatasetStandins:
+    @pytest.mark.parametrize("key", ["ye", "yt", "wn"])
+    def test_counts_agree_across_headliners(self, key):
+        data = load_dataset(key, scale=0.25)
+        query = extract_query(data, 6, seed=5)
+        counts = {
+            name: match(
+                query, data, algorithm=name, match_limit=None, time_limit=10.0
+            ).num_matches
+            for name in ["GQL-opt", "RI-opt", "CFL", "CECI", "DP", "GQLfs", "QSI"]
+        }
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestMatchCapConsistency:
+    def test_capped_runs_stop_at_cap(self, instances):
+        query, data = instances[0]
+        full = match(query, data, algorithm="GQL-opt", match_limit=None)
+        if full.num_matches > 3:
+            capped = match(query, data, algorithm="GQL-opt", match_limit=3)
+            assert capped.num_matches == 3
+            # Every capped embedding is a true embedding.
+            assert set(capped.embeddings) <= set(full.embeddings)

@@ -1,0 +1,48 @@
+"""Integration: the whole pipeline is deterministic across processes.
+
+DESIGN.md promises determinism (seeded generators, id tie-breaks); this
+test runs the same pipeline in two fresh interpreter processes — with
+different ``PYTHONHASHSEED`` values, so any accidental dependence on set
+or dict iteration order would surface — and compares results exactly.
+"""
+
+import os
+import subprocess
+import sys
+
+SCRIPT = """
+import json
+from repro import match
+from repro.study import load_dataset
+from repro.graph import extract_query
+
+data = load_dataset("ye", scale=0.3)
+query = extract_query(data, 7, seed=42, density="dense")
+out = {}
+for name in ["GQL-opt", "RIfs", "CFL", "DP", "QSI"]:
+    result = match(query, data, algorithm=name, match_limit=None)
+    out[name] = {
+        "count": result.num_matches,
+        "embeddings": sorted(result.embeddings),
+        "order": result.order,
+        "calls": result.stats.recursion_calls,
+    }
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def _run(hash_seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    result = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_identical_across_hash_seeds():
+    assert _run("0") == _run("12345")

@@ -1,0 +1,65 @@
+"""Integration: every example script runs to completion.
+
+Executed as subprocesses with a reduced ``REPRO_SCALE`` so the whole file
+stays fast; output sanity is spot-checked.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, *args: str) -> str:
+    env = dict(os.environ, REPRO_SCALE="0.25")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "matches found : 6" in out
+    assert "available algorithms" in out
+
+
+def test_protein_motif_search():
+    out = run_example("protein_motif_search.py")
+    assert "feed-forward triangle" in out
+    assert "occurrences found" in out
+
+
+def test_social_network_patterns():
+    out = run_example("social_network_patterns.py")
+    assert "fastest:" in out
+    assert "matches" in out
+
+
+def test_algorithm_comparison():
+    out = run_example("algorithm_comparison.py", "ye")
+    assert "Leaderboard" in out
+    for name in ("GQLfs", "RIfs", "GLW"):
+        assert name in out
+
+
+def test_graph_database_search():
+    out = run_example("graph_database_search.py")
+    assert "containing graphs" in out
+    assert "filtered w/o work" in out

@@ -1,0 +1,74 @@
+"""Integration: the paper's worked examples, end to end.
+
+Every intermediate result the paper prints for its Figure 1 running example
+(Examples 3.1-3.4, the A^{u1}_{u3}(v4) lookup, the introduction's match) is
+asserted against the full pipeline.
+"""
+
+from fixtures import (
+    DPISO_CANDIDATES,
+    GQL_LOCAL_CANDIDATES,
+    PAPER_DATA,
+    PAPER_MATCHES,
+    PAPER_QUERY,
+    REFINED_CANDIDATES,
+)
+
+from repro import match
+from repro.filtering import (
+    AuxiliaryStructure,
+    CECIFilter,
+    CFLFilter,
+    DPisoFilter,
+    GraphQLFilter,
+)
+
+
+class TestExample31:
+    def test_gql_local_pruning(self):
+        got = GraphQLFilter(refinement_rounds=0).run(PAPER_QUERY, PAPER_DATA)
+        assert got.as_dict() == GQL_LOCAL_CANDIDATES
+
+    def test_v1_removed_v3_kept_by_refinement(self):
+        got = GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+        assert not got.contains(2, 1)  # v1 removed (no semi-perfect matching)
+        assert got.contains(2, 3)  # v3 is a valid candidate
+
+
+class TestExample32:
+    def test_cfl_final_sets(self):
+        got = CFLFilter().run(PAPER_QUERY, PAPER_DATA)
+        assert got.as_dict() == REFINED_CANDIDATES
+
+    def test_aux_lookup_from_example(self):
+        cand = CFLFilter().run(PAPER_QUERY, PAPER_DATA)
+        tree = CFLFilter.build_tree(PAPER_QUERY, PAPER_DATA)
+        aux = AuxiliaryStructure.build(
+            PAPER_QUERY, PAPER_DATA, cand, scope="tree", tree=tree
+        )
+        # "Given v4 ∈ C(u1), CFL can directly retrieve that
+        #  A^{u1}_{u3}(v4) = {v10, v12}."
+        assert aux.neighbors(1, 3, 4) == [10, 12]
+
+
+class TestExample33:
+    def test_ceci_final_sets(self):
+        got = CECIFilter().run(PAPER_QUERY, PAPER_DATA)
+        assert got.as_dict() == REFINED_CANDIDATES
+
+
+class TestExample34:
+    def test_dpiso_final_sets(self):
+        got = DPisoFilter().run(PAPER_QUERY, PAPER_DATA)
+        assert got.as_dict() == DPISO_CANDIDATES
+
+
+class TestIntroductionMatch:
+    def test_quoted_match_found(self):
+        # "{(u0, v0), (u1, v4), (u2, v5), (u3, v12)} is a match from q to G."
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="recommended")
+        assert (0, 4, 5, 12) in set(result.embeddings)
+
+    def test_exactly_two_matches(self):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="recommended")
+        assert set(result.embeddings) == PAPER_MATCHES

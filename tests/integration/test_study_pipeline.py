@@ -1,0 +1,76 @@
+"""Integration: the study harness end to end (mini versions of the benches)."""
+
+import pytest
+
+from repro.filtering import (
+    CECIFilter,
+    CFLFilter,
+    DPisoFilter,
+    GraphQLFilter,
+    LDFFilter,
+    SteadyFilter,
+)
+from repro.study import (
+    build_query_set,
+    build_workload,
+    load_dataset,
+    run_algorithm_on_set,
+)
+
+
+@pytest.fixture(scope="module")
+def mini():
+    data = load_dataset("ye", scale=0.4)
+    qs = build_query_set(data, "ye", 6, "sparse", 5, seed=7)
+    return data, qs
+
+
+class TestFilterComparisonPipeline:
+    def test_pruning_power_ordering(self, mini):
+        """Figure 8's invariant chain: STEADY ⊆ each filter ⊆ LDF."""
+        data, qs = mini
+        filters = {
+            "LDF": LDFFilter(),
+            "GQL": GraphQLFilter(),
+            "CFL": CFLFilter(),
+            "CECI": CECIFilter(),
+            "DP": DPisoFilter(),
+            "STEADY": SteadyFilter(),
+        }
+        for query in qs.queries:
+            sizes = {
+                name: filt.run(query, data).average_size
+                for name, filt in filters.items()
+            }
+            assert sizes["STEADY"] <= min(
+                sizes["GQL"], sizes["CFL"], sizes["CECI"], sizes["DP"]
+            ) + 1e-9
+            for name in ("GQL", "CFL", "CECI", "DP"):
+                assert sizes[name] <= sizes["LDF"] + 1e-9
+
+
+class TestRunnerAcrossAlgorithms:
+    def test_summary_counts_consistent(self, mini):
+        data, qs = mini
+        for alg in ["GQL-opt", "RIfs", "DP", "GLW"]:
+            s = run_algorithm_on_set(alg, data, qs.queries, "ye", qs.label)
+            assert s.num_queries == len(qs.queries)
+            assert 0 <= s.num_unsolved <= s.num_queries
+            assert sum(s.categories().values()) == s.num_queries
+
+    def test_match_counts_agree_between_runner_algorithms(self, mini):
+        data, qs = mini
+        a = run_algorithm_on_set("GQL-opt", data, qs.queries, time_limit=10.0)
+        b = run_algorithm_on_set("GLW", data, qs.queries, time_limit=10.0)
+        for ra, rb in zip(a.records, b.records):
+            if ra.solved and rb.solved:
+                assert ra.num_matches == rb.num_matches
+
+
+class TestWorkloadPipeline:
+    def test_full_small_workload_runs(self):
+        data = load_dataset("ye", scale=0.3)
+        sets = build_workload(data, "ye", sizes=[6], count=3, seed=11)
+        for qs in sets:
+            s = run_algorithm_on_set("recommended", data, qs.queries, "ye", qs.label)
+            assert s.num_queries == 3

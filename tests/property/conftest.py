@@ -1,0 +1,6 @@
+"""Make the local strategies module importable from property tests."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

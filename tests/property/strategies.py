@@ -1,0 +1,104 @@
+"""Hypothesis strategies for labeled graphs and query/data pairs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph.ops import connected
+
+__all__ = ["graphs", "connected_graphs", "query_data_pairs", "sorted_int_lists"]
+
+
+@st.composite
+def graphs(
+    draw,
+    min_vertices: int = 1,
+    max_vertices: int = 10,
+    max_labels: int = 3,
+    edge_probability: float = 0.4,
+):
+    """A random labeled undirected graph."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = draw(
+        st.lists(
+            st.integers(0, max_labels - 1), min_size=n, max_size=n
+        )
+    )
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = [
+        e
+        for e in possible
+        if draw(
+            st.floats(0, 1, allow_nan=False, allow_infinity=False)
+        )
+        < edge_probability
+    ]
+    return Graph(labels=labels, edges=edges)
+
+
+@st.composite
+def connected_graphs(
+    draw,
+    min_vertices: int = 3,
+    max_vertices: int = 6,
+    max_labels: int = 3,
+):
+    """A connected labeled graph, built as a random tree plus extra edges."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = draw(
+        st.lists(st.integers(0, max_labels - 1), min_size=n, max_size=n)
+    )
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    graph = Graph(labels=labels, edges=sorted(edges))
+    assert connected(graph)
+    return graph
+
+
+@st.composite
+def query_data_pairs(
+    draw,
+    max_query_vertices: int = 5,
+    max_data_vertices: int = 12,
+    max_labels: int = 2,
+):
+    """A (query, data) pair sharing a label alphabet.
+
+    A small alphabet keeps candidate sets overlapping so injectivity
+    conflicts and dense search trees actually occur.
+    """
+    query = draw(
+        connected_graphs(
+            min_vertices=3,
+            max_vertices=max_query_vertices,
+            max_labels=max_labels,
+        )
+    )
+    data = draw(
+        graphs(
+            min_vertices=1,
+            max_vertices=max_data_vertices,
+            max_labels=max_labels,
+            edge_probability=0.45,
+        )
+    )
+    return query, data
+
+
+def sorted_int_lists(max_value: int = 200, max_size: int = 40):
+    """Sorted, deduplicated lists of small non-negative ints."""
+    return st.lists(
+        st.integers(0, max_value), max_size=max_size
+    ).map(lambda xs: sorted(set(xs)))

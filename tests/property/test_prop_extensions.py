@@ -1,0 +1,72 @@
+"""Property tests for the extensions: NEC compression and containment."""
+
+from hypothesis import given, settings
+
+from strategies import connected_graphs, query_data_pairs
+
+from repro.applications import containment_search
+from repro.baselines import brute_force_matches
+from repro.core import verify_embedding
+from repro.extensions import (
+    compress_query,
+    match_compressed,
+    neighborhood_equivalence_classes,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@given(connected_graphs())
+@SETTINGS
+def test_classes_partition_vertices(query):
+    classes = neighborhood_equivalence_classes(query)
+    flattened = sorted(u for members in classes for u in members)
+    assert flattened == list(query.vertices())
+
+
+@given(connected_graphs())
+@SETTINGS
+def test_class_members_are_twins(query):
+    for members in neighborhood_equivalence_classes(query):
+        rep = members[0]
+        for u in members[1:]:
+            assert query.label(u) == query.label(rep)
+            if query.has_edge(u, rep):
+                assert query.neighbor_set(u) | {u} == query.neighbor_set(
+                    rep
+                ) | {rep}
+            else:
+                assert query.neighbor_set(u) == query.neighbor_set(rep)
+
+
+@given(connected_graphs())
+@SETTINGS
+def test_expansion_factor_consistent(query):
+    c = compress_query(query)
+    assert c.compression_ratio >= 1.0
+    assert c.expansion_factor >= 1
+    if all(len(members) == 1 for members in c.classes):
+        assert c.expansion_factor == 1
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_compressed_matching_agrees_with_oracle(pair):
+    query, data = pair
+    oracle = brute_force_matches(query, data)
+    result = match_compressed(
+        query, data, match_limit=None, store_limit=len(oracle) + 10
+    )
+    assert result.num_matches == len(oracle)
+    assert set(result.embeddings) == set(oracle)
+    for embedding in result.embeddings:
+        assert verify_embedding(query, data, embedding)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_containment_agrees_with_oracle(pair):
+    query, data = pair
+    result = containment_search(query, [data])
+    expected = [0] if brute_force_matches(query, data) else []
+    assert result.containing == expected

@@ -1,0 +1,65 @@
+"""Property tests: failing-sets pruning never changes results, only cost."""
+
+from hypothesis import given, settings
+
+from strategies import query_data_pairs
+
+from repro.enumeration import BacktrackingEngine, IntersectionLC
+from repro.filtering import AuxiliaryStructure, GraphQLFilter
+from repro.ordering import GraphQLOrdering, RIOrdering, sample_orders
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def run_both(query, data, order):
+    candidates = GraphQLFilter().run(query, data)
+    auxiliary = AuxiliaryStructure.build(query, data, candidates, scope="all")
+    outcomes = []
+    for fs in (False, True):
+        engine = BacktrackingEngine(IntersectionLC(), use_failing_sets=fs)
+        outcomes.append(
+            engine.run(
+                query,
+                data,
+                candidates,
+                auxiliary,
+                order,
+                match_limit=None,
+                store_limit=1_000_000,
+            )
+        )
+    return outcomes
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_identical_results_on_algorithm_orders(pair):
+    query, data = pair
+    candidates = GraphQLFilter().run(query, data)
+    for ordering in (GraphQLOrdering(), RIOrdering()):
+        order = ordering.order(query, data, candidates)
+        without, with_fs = run_both(query, data, order)
+        assert without.num_matches == with_fs.num_matches
+        assert set(without.embeddings) == set(with_fs.embeddings)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_identical_results_on_random_orders(pair):
+    """Soundness must hold for *every* matching order, not just good ones."""
+    query, data = pair
+    for order in sample_orders(query, 3, seed=hash(query) & 0xFFFF):
+        without, with_fs = run_both(query, data, order)
+        assert without.num_matches == with_fs.num_matches
+        assert set(without.embeddings) == set(with_fs.embeddings)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_never_more_recursion_calls(pair):
+    """Failing sets only skip subtrees; they can never add work."""
+    query, data = pair
+    candidates = GraphQLFilter().run(query, data)
+    order = GraphQLOrdering().order(query, data, candidates)
+    without, with_fs = run_both(query, data, order)
+    assert with_fs.stats.recursion_calls <= without.stats.recursion_calls

@@ -1,0 +1,44 @@
+"""Property tests for the Glasgow constraint-programming solver."""
+
+from hypothesis import given, settings
+
+from strategies import query_data_pairs
+
+from repro.baselines import brute_force_matches
+from repro.core import verify_embedding
+from repro.glasgow import GlasgowSolver, glasgow_match
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_glasgow_agrees_with_oracle(pair):
+    query, data = pair
+    oracle = brute_force_matches(query, data)
+    result = glasgow_match(
+        query, data, match_limit=None, store_limit=len(oracle) + 10
+    )
+    assert result.num_matches == len(oracle)
+    assert set(result.embeddings) == set(oracle)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_initial_domains_complete(pair):
+    """Every match image must survive Glasgow's degree-sequence domains."""
+    query, data = pair
+    solver = GlasgowSolver(query, data)
+    domains = solver.initial_domains()
+    for embedding in brute_force_matches(query, data):
+        for u, v in enumerate(embedding):
+            assert domains[u] & (1 << v)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_glasgow_embeddings_valid(pair):
+    query, data = pair
+    result = glasgow_match(query, data, match_limit=None)
+    for embedding in result.embeddings:
+        assert verify_embedding(query, data, embedding)

@@ -1,0 +1,64 @@
+"""Property tests: all intersection kernels compute set intersection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import sorted_int_lists
+
+from repro.utils.intersection import (
+    BitmapSetIndex,
+    intersect_galloping,
+    intersect_hybrid,
+    intersect_merge,
+    multi_intersect,
+)
+
+
+@given(sorted_int_lists(), sorted_int_lists())
+def test_merge_matches_set_semantics(a, b):
+    assert intersect_merge(a, b) == sorted(set(a) & set(b))
+
+
+@given(sorted_int_lists(), sorted_int_lists())
+def test_galloping_matches_set_semantics(a, b):
+    assert intersect_galloping(a, b) == sorted(set(a) & set(b))
+
+
+@given(sorted_int_lists(), sorted_int_lists())
+def test_hybrid_matches_set_semantics(a, b):
+    assert intersect_hybrid(a, b) == sorted(set(a) & set(b))
+
+
+@given(sorted_int_lists(), sorted_int_lists())
+def test_bitmap_matches_set_semantics(a, b):
+    assert BitmapSetIndex().intersect(a, b) == sorted(set(a) & set(b))
+
+
+@given(st.lists(sorted_int_lists(max_value=60, max_size=20), min_size=1, max_size=5))
+def test_multi_intersect_matches_set_semantics(lists):
+    expected = set(lists[0])
+    for other in lists[1:]:
+        expected &= set(other)
+    assert multi_intersect(lists) == sorted(expected)
+
+
+@given(st.lists(sorted_int_lists(max_value=60, max_size=20), min_size=1, max_size=5))
+def test_bitmap_multi_agrees_with_hybrid_multi(lists):
+    assert BitmapSetIndex().multi_intersect(lists) == multi_intersect(lists)
+
+
+@given(sorted_int_lists())
+def test_intersection_idempotent(a):
+    assert intersect_hybrid(a, a) == a
+
+
+@given(sorted_int_lists(), sorted_int_lists())
+def test_intersection_commutative(a, b):
+    assert intersect_hybrid(a, b) == intersect_hybrid(b, a)
+
+
+@given(sorted_int_lists(max_value=500))
+@settings(max_examples=50)
+def test_bitmap_roundtrip(a):
+    idx = BitmapSetIndex()
+    assert idx.decode(idx.encode(a)) == a

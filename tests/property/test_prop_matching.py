@@ -1,0 +1,77 @@
+"""Property tests: every algorithm agrees with the brute-force oracle.
+
+This is the end-to-end correctness property: any (query, data) pair, any
+preset, any optimization flag — identical embedding sets.
+"""
+
+from hypothesis import given, settings
+
+from strategies import query_data_pairs
+
+from repro import match
+from repro.baselines import brute_force_matches, vf2_matches
+from repro.glasgow import glasgow_match
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+#: One representative per framework corner: direct/preprocessing,
+#: every LC algorithm, static/adaptive, with/without failing sets.
+REPRESENTATIVES = [
+    "QSI",      # direct enumeration, Algorithm 2
+    "2PP",      # Algorithm 2 + extra rules
+    "GQL",      # Algorithm 3
+    "CFL",      # Algorithm 4, tree auxiliary
+    "CECI",     # Algorithm 5
+    "DP",       # adaptive ordering
+    "GQLfs",    # failing sets
+    "DPfs",     # adaptive + failing sets
+    "recommended",
+]
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_presets_agree_with_brute_force(pair):
+    query, data = pair
+    oracle = brute_force_matches(query, data)
+    for name in REPRESENTATIVES:
+        result = match(
+            query,
+            data,
+            algorithm=name,
+            match_limit=None,
+            store_limit=len(oracle) + 1,
+        )
+        assert result.num_matches == len(oracle), name
+        assert set(result.embeddings) == set(oracle), name
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_glasgow_agrees_with_brute_force(pair):
+    query, data = pair
+    oracle = brute_force_matches(query, data)
+    result = glasgow_match(
+        query, data, match_limit=None, store_limit=len(oracle) + 1
+    )
+    assert set(result.embeddings) == set(oracle)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_vf2_agrees_with_brute_force(pair):
+    query, data = pair
+    assert vf2_matches(query, data) == brute_force_matches(query, data)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_embeddings_are_valid_monomorphisms(pair):
+    query, data = pair
+    result = match(query, data, algorithm="recommended", match_limit=None)
+    for emb in result.embeddings:
+        assert len(set(emb)) == len(emb)  # injective
+        for u in query.vertices():
+            assert data.label(emb[u]) == query.label(u)
+        for a, b in query.edges():
+            assert data.has_edge(emb[a], emb[b])

@@ -1,0 +1,61 @@
+"""Property tests: every ordering yields a valid connected matching order."""
+
+from hypothesis import given, settings
+
+from strategies import query_data_pairs
+
+from repro.filtering import GraphQLFilter
+from repro.ordering import (
+    CECIOrdering,
+    CFLOrdering,
+    DPisoOrdering,
+    GraphQLOrdering,
+    QuickSIOrdering,
+    RIOrdering,
+    VF2ppOrdering,
+    validate_order,
+)
+
+ALL_ORDERINGS = [
+    QuickSIOrdering(),
+    GraphQLOrdering(),
+    CFLOrdering(),
+    CECIOrdering(),
+    DPisoOrdering(),
+    RIOrdering(),
+    VF2ppOrdering(),
+]
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_orders_are_valid(pair):
+    query, data = pair
+    candidates = GraphQLFilter().run(query, data)
+    for ordering in ALL_ORDERINGS:
+        phi = ordering.order(query, data, candidates)
+        validate_order(query, phi)
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_orders_deterministic(pair):
+    query, data = pair
+    candidates = GraphQLFilter().run(query, data)
+    for ordering in ALL_ORDERINGS:
+        assert ordering.order(query, data, candidates) == ordering.order(
+            query, data, candidates
+        ), ordering.name
+
+
+@given(query_data_pairs())
+@SETTINGS
+def test_dpiso_adaptive_state_weights_nonnegative(pair):
+    query, data = pair
+    candidates = GraphQLFilter().run(query, data)
+    state = DPisoOrdering().adaptive_state(query, data, candidates)
+    for table in state.weights:
+        for weight in table.values():
+            assert weight >= 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for the oracle matchers."""
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro.baselines import brute_force_matches, vf2_matches
+from repro.baselines.vf2 import iter_vf2_matches
+from repro.graph import Graph
+
+
+class TestBruteForce:
+    def test_paper_example(self):
+        assert brute_force_matches(PAPER_QUERY, PAPER_DATA) == PAPER_MATCHES
+
+    def test_monomorphism_semantics(self):
+        # Query path 0-1-2 inside a triangle: the extra data edge is fine.
+        triangle = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        path = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        assert len(brute_force_matches(path, triangle)) == 6
+
+    def test_injectivity(self):
+        # Two query vertices cannot share a data vertex.
+        data = Graph(labels=[0, 1], edges=[(0, 1)])
+        query = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        assert brute_force_matches(query, data) == frozenset()
+
+    def test_labels_respected(self):
+        data = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        query = Graph(labels=[0, 0, 1], edges=[(0, 1), (1, 2)])
+        assert brute_force_matches(query, data) == frozenset()
+
+
+class TestVF2:
+    def test_paper_example(self):
+        assert vf2_matches(PAPER_QUERY, PAPER_DATA) == PAPER_MATCHES
+
+    def test_agrees_with_brute_force_on_triangle_host(self):
+        host = Graph(
+            labels=[0, 0, 0, 0],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3)],
+        )
+        query = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        assert vf2_matches(query, host) == brute_force_matches(query, host)
+
+    def test_limit(self):
+        triangle = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        path = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        got = list(iter_vf2_matches(path, triangle, limit=2))
+        assert len(got) == 2
+
+    def test_iterator_is_lazy(self):
+        triangle = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        path = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        it = iter_vf2_matches(path, triangle)
+        first = next(it)
+        assert len(first) == 3

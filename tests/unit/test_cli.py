@@ -1,0 +1,138 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import Graph, load_graph, save_graph
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    data = Graph(
+        labels=[0, 1, 0, 1, 0],
+        edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)],
+    )
+    query = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+    data_path = tmp_path / "data.graph"
+    query_path = tmp_path / "query.graph"
+    save_graph(data, data_path)
+    save_graph(query, query_path)
+    return str(query_path), str(data_path)
+
+
+class TestMatchCommand:
+    def test_basic(self, graph_files, capsys):
+        query_path, data_path = graph_files
+        code = main(["match", "-q", query_path, "-d", data_path, "-a", "GQL"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matches" in out
+        assert "GQL" in out
+
+    def test_glasgow(self, graph_files, capsys):
+        query_path, data_path = graph_files
+        code = main(["match", "-q", query_path, "-d", data_path, "-a", "GLW"])
+        assert code == 0
+        assert "GLW" in capsys.readouterr().out
+
+    def test_counts_agree(self, graph_files, capsys):
+        query_path, data_path = graph_files
+        main(["match", "-q", query_path, "-d", data_path, "-a", "GQL"])
+        gql_out = capsys.readouterr().out
+        main(["match", "-q", query_path, "-d", data_path, "-a", "RIfs"])
+        ri_out = capsys.readouterr().out
+
+        def count(out):
+            for line in out.splitlines():
+                if line.startswith("matches"):
+                    return int(line.split(":")[1])
+            raise AssertionError(out)
+
+        assert count(gql_out) == count(ri_out)
+
+
+class TestCompareCommand:
+    def test_table_printed(self, graph_files, capsys):
+        query_path, data_path = graph_files
+        code = main(
+            [
+                "compare", "-q", query_path, "-d", data_path,
+                "-a", "GQL", "RI", "GLW",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("GQL", "RI", "GLW"):
+            assert name in out
+
+
+class TestGenerateAndExtract:
+    def test_generate_rmat(self, tmp_path, capsys):
+        out_path = tmp_path / "g.graph"
+        code = main(
+            [
+                "generate", "--model", "rmat", "-n", "200",
+                "--degree", "6", "--labels", "4", "--seed", "1",
+                "--clustering", "0.3", "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        g = load_graph(out_path)
+        assert g.num_vertices == 200
+
+    def test_generate_er(self, tmp_path):
+        out_path = tmp_path / "g.graph"
+        assert (
+            main(
+                [
+                    "generate", "--model", "er", "-n", "50",
+                    "--degree", "4", "--labels", "3", "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert load_graph(out_path).num_vertices == 50
+
+    def test_extract_query(self, tmp_path, capsys):
+        data_path = tmp_path / "g.graph"
+        query_path = tmp_path / "q.graph"
+        main(
+            [
+                "generate", "--model", "rmat", "-n", "300", "--degree", "8",
+                "--labels", "4", "--seed", "2", "--clustering", "0.3",
+                "-o", str(data_path),
+            ]
+        )
+        code = main(
+            [
+                "extract-query", "-d", str(data_path), "-s", "6",
+                "--density", "dense", "--seed", "3", "-o", str(query_path),
+            ]
+        )
+        assert code == 0
+        q = load_graph(query_path)
+        assert q.num_vertices == 6
+        assert q.average_degree >= 3.0
+
+
+class TestInfoCommands:
+    def test_algorithms_lists_presets(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "GQLfs" in out
+        assert "GLW" in out
+
+    def test_datasets_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Yeast" in out and "eu2005" in out
+
+    def test_datasets_build_requires_output(self, capsys):
+        assert main(["datasets", "--build", "ye"]) == 2
+
+    def test_datasets_build(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        out_path = tmp_path / "ye.graph"
+        assert main(["datasets", "--build", "ye", "-o", str(out_path)]) == 0
+        g = load_graph(out_path)
+        assert g.num_vertices > 0

@@ -1,0 +1,83 @@
+"""Unit tests for the subgraph-containment application."""
+
+import pytest
+
+from repro.applications import GraphCollection, containment_search
+from repro.baselines import brute_force_matches
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+
+
+@pytest.fixture
+def collection():
+    return GraphCollection(
+        [
+            Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)]),           # path
+            Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)]),   # triangle
+            Graph(labels=[0, 1, 0, 1], edges=[(0, 1), (1, 2), (2, 3)]),
+            Graph(labels=[2, 2], edges=[(0, 1)]),                      # tiny
+        ]
+    )
+
+
+class TestGlobalFilters:
+    def test_label_filter(self, collection):
+        q = Graph(labels=[2, 2, 2], edges=[(0, 1), (1, 2)])
+        result = collection.search(q)
+        assert result.containing == []
+        # Every graph is eliminated without verification (no graph has
+        # three label-2 vertices).
+        assert result.verified == 0
+        assert result.filtered_out == len(collection)
+
+    def test_size_filter(self, collection):
+        q = Graph(labels=[0] * 5, edges=[(i, i + 1) for i in range(4)])
+        result = collection.search(q)
+        assert result.containing == []
+        assert result.verified == 0
+
+    def test_degree_filter(self):
+        coll = GraphCollection(
+            [Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])]
+        )
+        star = Graph(labels=[0, 0, 0, 0], edges=[(0, 1), (0, 2), (0, 3)])
+        result = coll.search(star)
+        assert result.verified == 0  # max degree 2 < 3
+
+    def test_filter_rate(self, collection):
+        q = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        result = collection.search(q)
+        assert 0.0 <= result.filter_rate <= 1.0
+
+
+class TestSearch:
+    def test_finds_containing_graphs(self, collection):
+        q = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        result = collection.search(q)
+        assert result.containing == [0, 2]
+
+    def test_triangle_query(self, collection):
+        q = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        assert collection.search(q).containing == [1]
+
+    def test_one_shot_helper(self, collection):
+        q = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        result = containment_search(q, [collection[i] for i in range(len(collection))])
+        assert result.containing == [1]
+
+    def test_add_returns_index(self):
+        coll = GraphCollection()
+        idx = coll.add(Graph(labels=[0], edges=[]))
+        assert idx == 0
+        assert len(coll) == 1
+
+    def test_agrees_with_brute_force(self):
+        graphs = [erdos_renyi_graph(12, 3.5, 2, seed=s) for s in range(8)]
+        query = extract_query(graphs[0], 4, seed=3)
+        result = containment_search(query, graphs)
+        expected = [
+            i
+            for i, g in enumerate(graphs)
+            if brute_force_matches(query, g)
+        ]
+        assert result.containing == expected
+        assert result.timeouts == 0

@@ -1,0 +1,207 @@
+"""Unit tests for the core layer: specs, registry, API, results."""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro import (
+    AlgorithmSpec,
+    available_algorithms,
+    count_matches,
+    get_algorithm,
+    has_match,
+    match,
+    recommended_spec,
+)
+from repro.core.algorithms import OPTIMIZED_NAMES, ORIGINAL_NAMES, resolve
+from repro.errors import ConfigurationError, InvalidQueryError
+from repro.graph import Graph
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in available_algorithms():
+            if name == "recommended":
+                continue
+            spec = get_algorithm(name)
+            assert spec.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            get_algorithm("nope")
+
+    def test_original_names_present(self):
+        assert set(ORIGINAL_NAMES) <= set(available_algorithms())
+
+    def test_optimized_use_intersection_lc(self):
+        from repro.enumeration import IntersectionLC
+
+        for name in OPTIMIZED_NAMES:
+            spec = get_algorithm(name)
+            assert isinstance(spec.lc, IntersectionLC), name
+            assert spec.aux_scope == "all", name
+
+    def test_fs_variants_enable_failing_sets(self):
+        assert get_algorithm("GQLfs").failing_sets
+        assert get_algorithm("RIfs").failing_sets
+        assert not get_algorithm("GQL-opt").failing_sets
+
+    def test_originals_match_paper_composition(self):
+        from repro.enumeration import (
+            CandidateScanLC,
+            IntersectionLC,
+            NeighborScanLC,
+            TreeAdjacencyLC,
+            VF2ppLC,
+        )
+
+        assert isinstance(get_algorithm("QSI").lc, NeighborScanLC)
+        assert isinstance(get_algorithm("GQL").lc, CandidateScanLC)
+        assert isinstance(get_algorithm("CFL").lc, TreeAdjacencyLC)
+        assert isinstance(get_algorithm("CECI").lc, IntersectionLC)
+        assert isinstance(get_algorithm("2PP").lc, VF2ppLC)
+        assert get_algorithm("CFL").aux_scope == "tree"
+        assert get_algorithm("GQL").aux_scope == "none"
+        assert get_algorithm("DP").adaptive
+
+
+class TestSpec:
+    def test_with_failing_sets_renames(self):
+        spec = get_algorithm("GQL-opt")
+        fs = spec.with_failing_sets()
+        assert fs.failing_sets
+        assert fs.name == "GQL-optfs"
+        assert not spec.failing_sets  # original untouched (frozen)
+
+    def test_with_failing_sets_idempotent(self):
+        spec = get_algorithm("GQLfs")
+        assert spec.with_failing_sets() is spec
+
+    def test_disable_failing_sets(self):
+        spec = get_algorithm("GQLfs").with_failing_sets(False)
+        assert not spec.failing_sets
+        assert spec.name == "GQL"
+
+    def test_renamed(self):
+        assert get_algorithm("RI").renamed("X").name == "X"
+
+
+class TestRecommended:
+    def test_sparse_data_gets_ri(self):
+        sparse = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        spec = recommended_spec(PAPER_QUERY, sparse)
+        assert type(spec.ordering).__name__ == "RIOrdering"
+
+    def test_dense_data_gets_gql(self):
+        n = 12
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        dense = Graph(labels=[0] * n, edges=edges)
+        spec = recommended_spec(PAPER_QUERY, dense)
+        assert type(spec.ordering).__name__ == "GraphQLOrdering"
+
+    def test_failing_sets_only_on_large_queries(self):
+        small = PAPER_QUERY
+        assert not recommended_spec(small, PAPER_DATA).failing_sets
+        big = Graph(
+            labels=list(range(10)),
+            edges=[(i, i + 1) for i in range(9)],
+        )
+        assert recommended_spec(big, PAPER_DATA).failing_sets
+
+    def test_resolve_requires_graphs(self):
+        with pytest.raises(ConfigurationError, match="recommended"):
+            resolve("recommended")
+
+    def test_resolve_passthrough_spec(self):
+        spec = get_algorithm("RI")
+        assert resolve(spec) is spec
+
+
+class TestMatchAPI:
+    def test_match_result_fields(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL")
+        assert r.algorithm == "GQL"
+        assert r.num_matches == 2
+        assert r.solved
+        assert set(r.embeddings) == PAPER_MATCHES
+        assert r.preprocessing_seconds >= 0
+        assert r.enumeration_seconds >= 0
+        assert r.candidate_average is not None
+        assert r.order is not None
+
+    def test_match_limit(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL", match_limit=1)
+        assert r.num_matches == 1
+
+    def test_store_limit(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL", store_limit=0)
+        assert r.num_matches == 2
+        assert r.embeddings == []
+
+    def test_direct_enumeration_has_no_candidate_stats(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="RI")
+        assert r.candidate_average is None
+        assert r.memory_bytes == 0
+
+    def test_adaptive_has_no_order(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="DP")
+        assert r.order is None
+
+    def test_count_matches(self):
+        assert count_matches(PAPER_QUERY, PAPER_DATA, algorithm="CECI") == 2
+
+    def test_has_match(self):
+        assert has_match(PAPER_QUERY, PAPER_DATA)
+        # A query with a label absent from the data graph cannot match.
+        q = Graph(labels=[9, 9, 9], edges=[(0, 1), (1, 2)])
+        assert not has_match(q, PAPER_DATA)
+
+    def test_query_too_small_rejected(self):
+        q = Graph(labels=[0, 1], edges=[(0, 1)])
+        with pytest.raises(InvalidQueryError, match="at least 3"):
+            match(q, PAPER_DATA)
+
+    def test_disconnected_query_rejected(self):
+        q = Graph(labels=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(InvalidQueryError, match="connected"):
+            match(q, PAPER_DATA)
+
+    def test_validate_skippable(self):
+        q = Graph(labels=[0, 1], edges=[(0, 1)])
+        # With validation off the tiny query simply runs.
+        r = match(q, PAPER_DATA, algorithm="RI", validate=False)
+        assert r.num_matches > 0
+
+    def test_custom_spec_accepted(self):
+        from repro.enumeration import IntersectionLC
+        from repro.filtering import DPisoFilter
+        from repro.ordering import RIOrdering
+
+        spec = AlgorithmSpec(
+            name="custom",
+            filter=DPisoFilter(),
+            ordering=RIOrdering(),
+            lc=IntersectionLC(),
+            aux_scope="all",
+            failing_sets=True,
+        )
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm=spec)
+        assert r.algorithm == "custom"
+        assert set(r.embeddings) == PAPER_MATCHES
+
+
+class TestMatchResult:
+    def test_time_properties(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL")
+        assert r.preprocessing_ms == r.preprocessing_seconds * 1000.0
+        assert r.total_ms == r.preprocessing_ms + r.enumeration_ms
+
+    def test_mappings_view(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL")
+        assert {tuple(sorted(m.items())) for m in r.mappings} == {
+            tuple(enumerate(e)) for e in PAPER_MATCHES
+        }
+
+    def test_repr_mentions_status(self):
+        r = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL")
+        assert "solved" in repr(r)

@@ -1,0 +1,121 @@
+"""Edge-case tests across modules (hardening beyond the happy paths)."""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_QUERY
+
+from repro.glasgow import GlasgowSolver
+from repro.graph import Graph
+from repro.study.runner import RunSummary
+
+
+class TestGlasgowHallCheck:
+    def test_pigeonhole_detected(self):
+        """Three variables sharing a two-value domain cannot be all-different;
+        forward checking alone would miss it, the Hall check must not."""
+        # Query: path of three same-label vertices; data: only two
+        # same-label vertices exist that interconnect.
+        query = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        data = Graph(labels=[0, 0], edges=[(0, 1)])
+        solver = GlasgowSolver(query, data)
+        result = solver.solve()
+        assert result.num_matches == 0
+
+    def test_halls_check_direct(self):
+        query = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        data = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        solver = GlasgowSolver(query, data)
+        solver._assignment = [-1, -1, -1]
+        # Domains: three variables, union of two values -> infeasible.
+        assert not solver._halls_check([0b11, 0b11, 0b11])
+        # Three values across three variables -> feasible.
+        assert solver._halls_check([0b111, 0b11, 0b100])
+
+
+class TestRunSummaryEdges:
+    def test_empty_summary(self):
+        s = RunSummary(
+            algorithm="X", dataset_key="d", query_set_label="q", time_limit=1.0
+        )
+        assert s.num_queries == 0
+        assert s.avg_enumeration_ms == 0.0
+        assert s.std_enumeration_ms == 0.0
+        assert s.avg_candidates is None
+        assert s.avg_matches_solved == 0.0
+        assert s.peak_memory_bytes == 0
+        assert sum(s.categories().values()) == 0
+
+    def test_single_record_std_zero(self):
+        from repro.study.runner import QueryRecord
+
+        s = RunSummary(
+            algorithm="X", dataset_key="d", query_set_label="q", time_limit=1.0
+        )
+        s.records.append(
+            QueryRecord(
+                query_index=0,
+                preprocessing_ms=1.0,
+                enumeration_ms=2.0,
+                num_matches=3,
+                solved=True,
+                candidate_average=4.0,
+                memory_bytes=5,
+                recursion_calls=6,
+            )
+        )
+        assert s.std_enumeration_ms == 0.0
+        assert s.avg_total_ms == 3.0
+
+
+class TestEngineEdges:
+    def test_match_limit_one_stops_immediately(self):
+        from repro import match
+
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="GQL-opt", match_limit=1)
+        assert result.num_matches == 1
+        assert result.solved
+
+    def test_zero_store_limit_counts_everything(self):
+        from repro import match
+
+        result = match(
+            PAPER_QUERY, PAPER_DATA, algorithm="GQL-opt",
+            match_limit=None, store_limit=0,
+        )
+        assert result.num_matches == 2
+        assert result.embeddings == []
+
+    def test_unmatchable_label_short_circuit(self):
+        from repro import match
+
+        query = Graph(labels=[99, 99, 99], edges=[(0, 1), (1, 2)])
+        result = match(query, PAPER_DATA, algorithm="CECI")
+        assert result.num_matches == 0
+        assert result.stats.recursion_calls == 0  # empty C(u) fast path
+
+
+class TestOrderingTieBreaks:
+    def test_quicksi_deterministic_under_full_ties(self):
+        from repro.ordering import QuickSIOrdering
+
+        # All labels identical: every edge has the same weight.
+        query = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        data = Graph(labels=[0] * 6, edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        a = QuickSIOrdering().order(query, data)
+        b = QuickSIOrdering().order(query, data)
+        assert a == b
+
+    def test_vf2pp_deterministic_under_full_ties(self):
+        from repro.ordering import VF2ppOrdering
+
+        query = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert VF2ppOrdering().order(query, PAPER_DATA) == VF2ppOrdering().order(
+            query, PAPER_DATA
+        )
+
+
+class TestWorkloadLadders:
+    def test_hu_wn_use_small_ladder(self):
+        from repro.study import default_query_sizes
+
+        assert max(default_query_sizes("hu")) < max(default_query_sizes("ye"))

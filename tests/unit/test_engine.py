@@ -1,0 +1,144 @@
+"""Unit tests for the backtracking engine (limits, stats, modes)."""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro.enumeration import (
+    BacktrackingEngine,
+    CandidateScanLC,
+    IntersectionLC,
+    NeighborScanLC,
+)
+from repro.filtering import AuxiliaryStructure, CandidateSets, GraphQLFilter
+from repro.graph import Graph, rmat_graph, extract_query
+from repro.ordering import GraphQLOrdering
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    cand = GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+    aux = AuxiliaryStructure.build(PAPER_QUERY, PAPER_DATA, cand, scope="all")
+    order = GraphQLOrdering().order(PAPER_QUERY, PAPER_DATA, cand)
+    return cand, aux, order
+
+
+class TestBasicRun:
+    def test_finds_both_matches(self, pipeline):
+        cand, aux, order = pipeline
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, order
+        )
+        assert out.solved
+        assert out.num_matches == 2
+        assert set(out.embeddings) == PAPER_MATCHES
+
+    def test_embeddings_indexed_by_query_vertex(self, pipeline):
+        cand, aux, order = pipeline
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, order
+        )
+        for emb in out.embeddings:
+            for u, v in enumerate(emb):
+                assert PAPER_DATA.label(v) == PAPER_QUERY.label(u)
+
+    def test_empty_candidate_set_short_circuits(self, pipeline):
+        _, aux, order = pipeline
+        empty = CandidateSets(PAPER_QUERY, [[0], [], [3, 5], [10]])
+        out = BacktrackingEngine(CandidateScanLC()).run(
+            PAPER_QUERY, PAPER_DATA, empty, None, order
+        )
+        assert out.num_matches == 0
+        assert out.solved
+        assert out.stats.recursion_calls == 0
+
+    def test_static_mode_requires_order(self, pipeline):
+        cand, aux, _ = pipeline
+        with pytest.raises(ValueError, match="requires a matching order"):
+            BacktrackingEngine(IntersectionLC()).run(
+                PAPER_QUERY, PAPER_DATA, cand, aux, None
+            )
+
+
+class TestLimits:
+    def test_match_limit(self, pipeline):
+        cand, aux, order = pipeline
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, order, match_limit=1
+        )
+        assert out.num_matches == 1
+        assert out.solved  # Hitting the cap is not an unsolved query.
+
+    def test_store_limit(self, pipeline):
+        cand, aux, order = pipeline
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, order, store_limit=1
+        )
+        assert out.num_matches == 2
+        assert len(out.embeddings) == 1
+
+    def test_time_limit_kills_heavy_query(self):
+        # A near-unlabeled dense graph with a large query explodes; the
+        # deadline must cut it off and mark it unsolved.
+        data = rmat_graph(400, 16.0, 1, seed=3, clustering=0.3)
+        query = extract_query(data, 12, seed=1)
+        cand = GraphQLFilter().run(query, data)
+        aux = AuxiliaryStructure.build(query, data, cand, scope="all")
+        order = GraphQLOrdering().order(query, data, cand)
+        out = BacktrackingEngine(IntersectionLC()).run(
+            query, data, cand, aux, order,
+            match_limit=None, time_limit=0.05,
+        )
+        assert not out.solved
+        assert out.elapsed < 2.0
+
+
+class TestStats:
+    def test_counters_populated(self, pipeline):
+        cand, aux, order = pipeline
+        out = BacktrackingEngine(IntersectionLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, order
+        )
+        assert out.stats.recursion_calls >= 4
+        assert out.stats.candidates_scanned >= 2
+
+    def test_conflicts_counted(self):
+        # Query: path A-B-A on a data path A-B-A where both A's candidates
+        # overlap -> injectivity conflicts occur.
+        data = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        query = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        cand = GraphQLFilter().run(query, data)
+        aux = AuxiliaryStructure.build(query, data, cand, scope="all")
+        order = [1, 0, 2]
+        out = BacktrackingEngine(IntersectionLC()).run(
+            query, data, cand, aux, order
+        )
+        assert out.num_matches == 2
+        assert out.stats.conflicts > 0
+
+
+class TestTreeParent:
+    def test_designated_parent_respected(self, pipeline):
+        from repro.filtering import CFLFilter
+        from repro.enumeration import TreeAdjacencyLC
+
+        cand = CFLFilter().run(PAPER_QUERY, PAPER_DATA)
+        tree = CFLFilter.build_tree(PAPER_QUERY, PAPER_DATA)
+        aux = AuxiliaryStructure.build(
+            PAPER_QUERY, PAPER_DATA, cand, scope="tree", tree=tree
+        )
+        # Order [0, 2, 1, 3]: u3's φ-earliest backward neighbor is u2, but
+        # its tree parent is u1 — Algorithm 4 must use u1's table.
+        out = BacktrackingEngine(TreeAdjacencyLC()).run(
+            PAPER_QUERY, PAPER_DATA, cand, aux, [0, 2, 1, 3],
+            tree_parent=tree.parent,
+        )
+        assert set(out.embeddings) == PAPER_MATCHES
+
+
+class TestNeighborScanWithoutCandidates:
+    def test_direct_enumeration(self):
+        out = BacktrackingEngine(NeighborScanLC()).run(
+            PAPER_QUERY, PAPER_DATA, None, None, [0, 1, 2, 3]
+        )
+        assert set(out.embeddings) == PAPER_MATCHES

@@ -1,0 +1,46 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    ConfigurationError,
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidQueryError,
+    ReproError,
+)
+
+ALL_ERRORS = [
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidQueryError,
+    ConfigurationError,
+    BudgetExceeded,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+    # ...but not a catch-all for programming errors.
+    assert not issubclass(KeyError, ReproError)
+
+
+def test_budget_exceeded_never_escapes_public_api():
+    """BudgetExceeded is an internal signal; match() reports unsolved."""
+    from repro import match
+    from repro.graph import rmat_graph, extract_query
+
+    data = rmat_graph(400, 16.0, 1, seed=3, clustering=0.3)
+    query = extract_query(data, 12, seed=1)
+    result = match(
+        query, data, algorithm="RI-opt", match_limit=None, time_limit=0.05
+    )
+    assert not result.solved  # reported, not raised

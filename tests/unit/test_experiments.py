@@ -1,0 +1,98 @@
+"""Unit tests for the programmatic experiment API."""
+
+import pytest
+
+from repro.filtering import DPisoFilter, LDFFilter
+from repro.graph import rmat_graph, generate_query_set
+from repro.study import (
+    compare_algorithms,
+    compare_filters,
+    default_study_filters,
+    order_spectrum,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = rmat_graph(400, 8.0, 4, seed=61, clustering=0.3)
+    queries = generate_query_set(data, 6, 3, seed=9)
+    return data, queries
+
+
+class TestCompareFilters:
+    def test_default_lineup(self, instance):
+        data, queries = instance
+        reports = compare_filters(data, queries)
+        names = [r.filter_name for r in reports]
+        assert names == ["LDF", "GQL", "CFL", "CECI", "DP", "STEADY"]
+        for r in reports:
+            assert r.num_queries == 3
+            assert r.avg_candidates >= 0
+            assert r.avg_time_ms >= 0
+
+    def test_refined_filters_prune_more_than_ldf(self, instance):
+        data, queries = instance
+        reports = {r.filter_name: r for r in compare_filters(data, queries)}
+        assert reports["DP"].avg_candidates <= reports["LDF"].avg_candidates
+        assert reports["STEADY"].avg_candidates <= reports["DP"].avg_candidates + 1e-9
+
+    def test_custom_filters(self, instance):
+        data, queries = instance
+        reports = compare_filters(
+            data, queries, filters=[LDFFilter(), DPisoFilter(refinement_phases=1)]
+        )
+        assert len(reports) == 2
+
+    def test_default_study_filters_fresh_instances(self):
+        a = default_study_filters()
+        b = default_study_filters()
+        assert a[0] is not b[0]
+
+
+class TestCompareAlgorithms:
+    def test_sorted_by_total(self, instance):
+        data, queries = instance
+        summaries = compare_algorithms(
+            data, queries, ["GQL-opt", "RI-opt", "GLW"], time_limit=5.0
+        )
+        totals = [s.avg_total_ms for s in summaries]
+        assert totals == sorted(totals)
+        assert {s.algorithm for s in summaries} == {"GQL-opt", "RI-opt", "GLW"}
+
+    def test_counts_agree(self, instance):
+        data, queries = instance
+        summaries = compare_algorithms(
+            data, queries, ["GQL-opt", "CECI"], match_limit=None, time_limit=10.0
+        )
+        by_name = {s.algorithm: s for s in summaries}
+        for a, b in zip(
+            by_name["GQL-opt"].records, by_name["CECI"].records
+        ):
+            assert a.num_matches == b.num_matches
+
+
+class TestOrderSpectrum:
+    def test_report_shape(self, instance):
+        data, queries = instance
+        report = order_spectrum(
+            queries[0], data, num_orders=10, seed=3, time_limit=5.0
+        )
+        assert report.timeouts >= 0
+        assert report.sampled_ms == sorted(report.sampled_ms)
+        assert report.best_ms is not None
+        assert report.worst_ms >= report.best_ms
+        assert report.median_ms is not None
+        assert report.gql_ms is not None and report.ri_ms is not None
+
+    def test_speedup_over(self, instance):
+        data, queries = instance
+        report = order_spectrum(queries[0], data, num_orders=5, seed=4, time_limit=5.0)
+        speedup = report.speedup_over(report.gql_ms)
+        assert speedup is not None and speedup > 0
+        assert report.speedup_over(None) is None
+
+    def test_deterministic_sampling(self, instance):
+        data, queries = instance
+        a = order_spectrum(queries[1], data, num_orders=5, seed=7, time_limit=5.0)
+        b = order_spectrum(queries[1], data, num_orders=5, seed=7, time_limit=5.0)
+        assert len(a.sampled_ms) == len(b.sampled_ms)

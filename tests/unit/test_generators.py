@@ -1,0 +1,109 @@
+"""Unit tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import erdos_renyi_graph, rmat_graph, uniform_labels, zipf_labels
+from repro.graph.generators import RMAT_DEFAULT_PARTITION
+
+
+class TestLabels:
+    def test_uniform_deterministic(self):
+        assert uniform_labels(50, 4, seed=1) == uniform_labels(50, 4, seed=1)
+
+    def test_uniform_range(self):
+        labels = uniform_labels(200, 4, seed=2)
+        assert set(labels) <= {0, 1, 2, 3}
+
+    def test_uniform_needs_labels(self):
+        with pytest.raises(InvalidGraphError):
+            uniform_labels(10, 0, seed=1)
+
+    def test_zipf_skew(self):
+        labels = zipf_labels(5000, 5, seed=3, exponent=3.0)
+        counts = np.bincount(labels, minlength=5)
+        # Label 0 dominates with a strong exponent.
+        assert counts[0] > 0.7 * 5000
+        assert counts[0] > counts[1] > counts[4]
+
+    def test_zipf_deterministic(self):
+        assert zipf_labels(100, 3, seed=7) == zipf_labels(100, 3, seed=7)
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        g = erdos_renyi_graph(100, 6.0, 4, seed=5)
+        assert g.num_vertices == 100
+        assert abs(g.average_degree - 6.0) < 1.0
+
+    def test_deterministic(self):
+        assert erdos_renyi_graph(50, 4.0, 3, seed=9) == erdos_renyi_graph(
+            50, 4.0, 3, seed=9
+        )
+
+    def test_seeds_differ(self):
+        assert erdos_renyi_graph(50, 4.0, 3, seed=1) != erdos_renyi_graph(
+            50, 4.0, 3, seed=2
+        )
+
+    def test_dense_request(self):
+        # Above the rejection-sampling threshold: exercises the exact path.
+        g = erdos_renyi_graph(12, 9.0, 2, seed=4)
+        assert g.num_edges == min(54, 12 * 11 // 2)
+
+    def test_needs_vertex(self):
+        with pytest.raises(InvalidGraphError):
+            erdos_renyi_graph(0, 1.0, 1, seed=1)
+
+
+class TestRMAT:
+    def test_shape(self):
+        g = rmat_graph(1000, 8.0, 16, seed=42)
+        assert g.num_vertices == 1000
+        assert abs(g.average_degree - 8.0) < 1.5
+
+    def test_deterministic(self):
+        assert rmat_graph(200, 6.0, 8, seed=1) == rmat_graph(200, 6.0, 8, seed=1)
+
+    def test_power_law_hubs(self):
+        g = rmat_graph(2000, 8.0, 4, seed=11)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # RMAT with the paper's partition produces pronounced hubs.
+        assert degrees[0] > 5 * g.average_degree
+
+    def test_partition_must_sum_to_one(self):
+        with pytest.raises(InvalidGraphError, match="sum to 1"):
+            rmat_graph(100, 4.0, 2, seed=1, partition=(0.5, 0.5, 0.5, 0.5))
+
+    def test_default_partition_is_papers(self):
+        assert RMAT_DEFAULT_PARTITION == (0.45, 0.22, 0.22, 0.11)
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(InvalidGraphError):
+            rmat_graph(1, 4.0, 2, seed=1)
+
+    def test_label_skew_applied(self):
+        g = rmat_graph(3000, 4.0, 5, seed=3, label_skew=3.0)
+        counts = np.bincount(np.asarray(g.labels), minlength=5)
+        assert counts[0] > 0.6 * 3000
+
+    def test_clustering_creates_triangles(self):
+        flat = rmat_graph(1500, 8.0, 4, seed=21, clustering=0.0)
+        clustered = rmat_graph(1500, 8.0, 4, seed=21, clustering=0.4)
+
+        def triangle_count(g):
+            count = 0
+            for u, v in g.edges():
+                count += len(g.neighbor_set(u) & g.neighbor_set(v))
+            return count // 3
+
+        assert triangle_count(clustered) > 2 * max(1, triangle_count(flat))
+
+    def test_clustering_preserves_edge_budget(self):
+        g = rmat_graph(1000, 8.0, 4, seed=22, clustering=0.3)
+        assert abs(g.average_degree - 8.0) < 1.5
+
+    def test_invalid_clustering(self):
+        with pytest.raises(InvalidGraphError, match="clustering"):
+            rmat_graph(100, 4.0, 2, seed=1, clustering=1.5)

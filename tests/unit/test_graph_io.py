@@ -1,0 +1,82 @@
+"""Unit tests for the .graph text format reader/writer."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, dumps_graph, load_graph, loads_graph, save_graph
+
+
+VALID = "t 3 2\nv 0 5 1\nv 1 5 2\nv 2 7 1\ne 0 1\ne 1 2\n"
+
+
+class TestLoads:
+    def test_valid(self):
+        g = loads_graph(VALID)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.label(2) == 7
+
+    def test_comments_and_blank_lines(self):
+        text = "# header comment\n\n" + VALID + "\n# trailing\n"
+        assert loads_graph(text).num_edges == 2
+
+    def test_degree_optional(self):
+        g = loads_graph("t 2 1\nv 0 0\nv 1 0\ne 0 1\n")
+        assert g.num_edges == 1
+
+    def test_missing_header(self):
+        with pytest.raises(GraphFormatError, match="missing"):
+            loads_graph("v 0 0\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            loads_graph("t 1 0\nt 1 0\nv 0 0\n")
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declares 3 vertices"):
+            loads_graph("t 3 0\nv 0 0\nv 1 0\n")
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declares 2 edges"):
+            loads_graph("t 2 2\nv 0 0\nv 1 0\ne 0 1\n")
+
+    def test_non_consecutive_ids(self):
+        with pytest.raises(GraphFormatError, match="consecutive"):
+            loads_graph("t 2 0\nv 0 0\nv 5 0\n")
+
+    def test_wrong_declared_degree(self):
+        with pytest.raises(GraphFormatError, match="declared degree"):
+            loads_graph("t 2 1\nv 0 0 9\nv 1 0 1\ne 0 1\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            loads_graph("t 1 0\nv 0 0\nx 1 2\n")
+
+    def test_short_v_line(self):
+        with pytest.raises(GraphFormatError, match="'v' needs"):
+            loads_graph("t 1 0\nv 0\n")
+
+    def test_short_e_line(self):
+        with pytest.raises(GraphFormatError, match="'e' needs"):
+            loads_graph("t 2 1\nv 0 0\nv 1 0\ne 0\n")
+
+
+class TestRoundtrip:
+    def test_dumps_loads_identity(self, paper_data):
+        assert loads_graph(dumps_graph(paper_data)) == paper_data
+
+    def test_dumps_format(self, triangle):
+        text = dumps_graph(triangle)
+        lines = text.strip().split("\n")
+        assert lines[0] == "t 3 3"
+        assert lines[1] == "v 0 0 2"
+        assert "e 0 1" in lines
+
+    def test_file_roundtrip(self, tmp_path, paper_query):
+        path = tmp_path / "q.graph"
+        save_graph(paper_query, path)
+        assert load_graph(path) == paper_query
+
+    def test_empty_graph_roundtrip(self):
+        g = Graph(labels=[], edges=[])
+        assert loads_graph(dumps_graph(g)) == g

@@ -1,0 +1,99 @@
+"""Unit tests for graph structure helpers (2-core, BFS tree, connectivity)."""
+
+import pytest
+
+from repro.graph import Graph, bfs_tree, connected, core_vertices, two_core
+
+
+class TestConnected:
+    def test_empty_and_single(self):
+        assert connected(Graph(labels=[], edges=[]))
+        assert connected(Graph(labels=[0], edges=[]))
+
+    def test_connected_path(self):
+        assert connected(Graph(labels=[0] * 3, edges=[(0, 1), (1, 2)]))
+
+    def test_disconnected(self):
+        assert not connected(Graph(labels=[0] * 3, edges=[(0, 1)]))
+
+    def test_two_components(self):
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (2, 3)])
+        assert not connected(g)
+
+
+class TestTwoCore:
+    def test_triangle_is_core(self, triangle):
+        assert two_core(triangle) == {0, 1, 2}
+
+    def test_path_has_empty_core(self):
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert two_core(g) == set()
+
+    def test_triangle_with_tail(self):
+        # Triangle 0-1-2 plus tail 2-3-4: the tail peels away.
+        g = Graph(
+            labels=[0] * 5,
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)],
+        )
+        assert two_core(g) == {0, 1, 2}
+
+    def test_cycle_entirely_core(self):
+        g = Graph(labels=[0] * 5, edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert two_core(g) == {0, 1, 2, 3, 4}
+
+    def test_paper_query_all_core(self, paper_query):
+        assert core_vertices(paper_query) == {0, 1, 2, 3}
+
+
+class TestBFSTree:
+    def test_paper_tree_matches_figure(self, paper_query):
+        # Figure 1's thick lines: tree edges (u0,u1), (u0,u2), (u1,u3).
+        tree = bfs_tree(paper_query, 0)
+        assert tree.root == 0
+        assert tree.order == (0, 1, 2, 3)
+        assert set(tree.tree_edges) == {(0, 1), (0, 2), (1, 3)}
+        assert set(tree.non_tree_edges) == {(1, 2), (2, 3)}
+
+    def test_parents_and_depths(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert tree.parent[0] == -1
+        assert tree.parent[3] == 1
+        assert tree.depth == (0, 1, 1, 2)
+        assert tree.max_depth == 2
+
+    def test_children(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert tree.children[0] == (1, 2)
+        assert tree.children[1] == (3,)
+
+    def test_position(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert [tree.position(v) for v in tree.order] == [0, 1, 2, 3]
+
+    def test_vertices_at_depth(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert tree.vertices_at_depth(1) == [1, 2]
+
+    def test_backward_neighbors(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert set(tree.backward_neighbors(paper_query, 3)) == {1, 2}
+        assert tree.backward_neighbors(paper_query, 0) == []
+
+    def test_root_to_leaf_paths(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        assert sorted(tree.root_to_leaf_paths()) == [(0, 1, 3), (0, 2)]
+
+    def test_different_root(self, paper_query):
+        tree = bfs_tree(paper_query, 3)
+        assert tree.root == 3
+        assert tree.depth[3] == 0
+
+    def test_disconnected_raises(self):
+        g = Graph(labels=[0, 0, 0], edges=[(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            bfs_tree(g, 0)
+
+    def test_non_tree_edge_orientation(self, paper_query):
+        tree = bfs_tree(paper_query, 0)
+        for u, v in tree.non_tree_edges:
+            assert tree.position(u) < tree.position(v)

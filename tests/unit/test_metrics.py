@@ -1,0 +1,100 @@
+"""Unit tests for graph metrics and stand-in structural validation."""
+
+import pytest
+
+from repro.graph import Graph, rmat_graph
+from repro.graph.metrics import (
+    degree_histogram,
+    density,
+    global_clustering_coefficient,
+    triangle_count,
+)
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_path_has_none(self):
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert triangle_count(g) == 0
+
+    def test_k4(self):
+        k4 = Graph(
+            labels=[0] * 4,
+            edges=[(a, b) for a in range(4) for b in range(a + 1, 4)],
+        )
+        assert triangle_count(k4) == 4
+
+    def test_two_disjoint_triangles(self):
+        g = Graph(
+            labels=[0] * 6,
+            edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert triangle_count(g) == 2
+
+    def test_agrees_with_networkx(self):
+        import networkx as nx
+
+        g = rmat_graph(300, 8.0, 2, seed=71, clustering=0.3)
+        nx_graph = nx.Graph(list(g.edges()))
+        nx_graph.add_nodes_from(g.vertices())
+        expected = sum(nx.triangles(nx_graph).values()) // 3
+        assert triangle_count(g) == expected
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle):
+        assert global_clustering_coefficient(triangle) == 1.0
+
+    def test_star_has_zero(self):
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert global_clustering_coefficient(g) == 0.0
+
+    def test_edgeless(self):
+        assert global_clustering_coefficient(Graph(labels=[0, 1], edges=[])) == 0.0
+
+    def test_clustered_rmat_beats_plain(self):
+        plain = rmat_graph(1000, 8.0, 2, seed=81, clustering=0.0)
+        clustered = rmat_graph(1000, 8.0, 2, seed=81, clustering=0.4)
+        assert global_clustering_coefficient(
+            clustered
+        ) > 1.5 * global_clustering_coefficient(plain)
+
+
+class TestDensity:
+    def test_complete_graph(self):
+        k4 = Graph(
+            labels=[0] * 4,
+            edges=[(a, b) for a in range(4) for b in range(a + 1, 4)],
+        )
+        assert density(k4) == 1.0
+
+    def test_single_vertex(self):
+        assert density(Graph(labels=[0], edges=[])) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+    def test_sums_to_vertices(self, small_random):
+        histogram = degree_histogram(small_random)
+        assert sum(histogram.values()) == small_random.num_vertices
+
+
+class TestStandinShapes:
+    """The properties DESIGN.md promises of the dataset stand-ins."""
+
+    def test_standins_have_clustering(self):
+        from repro.study import load_dataset
+
+        g = load_dataset("yt", scale=0.3)
+        assert global_clustering_coefficient(g) > 0.02
+
+    def test_standins_have_hubs(self):
+        from repro.study import load_dataset
+
+        g = load_dataset("yt", scale=0.3)
+        assert g.max_degree > 5 * g.average_degree

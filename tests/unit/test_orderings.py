@@ -1,0 +1,231 @@
+"""Unit tests for all seven ordering methods plus the spectrum sampler."""
+
+import numpy as np
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_QUERY
+
+from repro.filtering import GraphQLFilter, LDFFilter
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+from repro.ordering import (
+    CECIOrdering,
+    CFLOrdering,
+    DPisoOrdering,
+    GraphQLOrdering,
+    QuickSIOrdering,
+    RandomOrdering,
+    RIOrdering,
+    VF2ppOrdering,
+    random_connected_order,
+    sample_orders,
+    validate_order,
+)
+
+ALL_ORDERINGS = [
+    QuickSIOrdering(),
+    GraphQLOrdering(),
+    CFLOrdering(),
+    CECIOrdering(),
+    DPisoOrdering(),
+    RIOrdering(),
+    VF2ppOrdering(),
+]
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return GraphQLFilter().run(PAPER_QUERY, PAPER_DATA)
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    data = erdos_renyi_graph(120, 6.0, 3, seed=31)
+    query = extract_query(data, 8, seed=5)
+    cand = GraphQLFilter().run(query, data)
+    return query, data, cand
+
+
+class TestValidateOrder:
+    def test_accepts_connected_permutation(self, paper_query):
+        validate_order(paper_query, [0, 1, 2, 3])
+
+    def test_rejects_non_permutation(self, paper_query):
+        with pytest.raises(ValueError, match="permutation"):
+            validate_order(paper_query, [0, 1, 1, 3])
+
+    def test_rejects_disconnected_prefix(self):
+        # Path 0-1-2-3: order [0, 3, ...] has 3 with no backward neighbor.
+        g = Graph(labels=[0] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="backward neighbor"):
+            validate_order(g, [0, 3, 2, 1])
+
+
+@pytest.mark.parametrize("ordering", ALL_ORDERINGS, ids=lambda o: o.name)
+class TestAllOrderingsValid:
+    def test_paper_instance(self, ordering, candidates):
+        phi = ordering.order(PAPER_QUERY, PAPER_DATA, candidates)
+        validate_order(PAPER_QUERY, phi)
+
+    def test_random_instance(self, ordering, random_instance):
+        query, data, cand = random_instance
+        phi = ordering.order(query, data, cand)
+        validate_order(query, phi)
+
+    def test_deterministic(self, ordering, random_instance):
+        query, data, cand = random_instance
+        assert ordering.order(query, data, cand) == ordering.order(
+            query, data, cand
+        )
+
+
+class TestQuickSI:
+    def test_starts_with_lightest_edge(self):
+        # Labels: pair (0,1) appears once, pair (0,0) appears many times.
+        data = Graph(
+            labels=[0, 0, 0, 0, 1],
+            edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (3, 4)],
+        )
+        query = Graph(labels=[0, 0, 1], edges=[(0, 1), (1, 2)])
+        phi = QuickSIOrdering().order(query, data)
+        # Edge (1, 2) has label pair (0, 1): globally rarest; vertex 2
+        # (label 1, weight 1) enters before vertex 1 (label 0, weight 4).
+        assert phi[:2] == [2, 1]
+
+    def test_ignores_candidates(self, candidates):
+        a = QuickSIOrdering().order(PAPER_QUERY, PAPER_DATA, None)
+        b = QuickSIOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert a == b
+
+
+class TestGraphQLOrdering:
+    def test_starts_with_smallest_candidate_set(self, candidates):
+        phi = GraphQLOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert phi[0] == 0  # C(u0) = {v0} is the unique minimum.
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError, match="requires candidate"):
+            GraphQLOrdering().order(PAPER_QUERY, PAPER_DATA, None)
+
+    def test_greedy_min_at_each_step(self, random_instance):
+        query, data, cand = random_instance
+        phi = GraphQLOrdering().order(query, data, cand)
+        placed = {phi[0]}
+        for u in phi[1:]:
+            frontier = {
+                w
+                for p in placed
+                for w in query.neighbors(p).tolist()
+                if w not in placed
+            }
+            assert cand.size(u) == min(cand.size(w) for w in frontier)
+            placed.add(u)
+
+
+class TestCFLOrdering:
+    def test_root_first(self, candidates):
+        phi = CFLOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert phi[0] == 0
+
+    def test_paths_stay_contiguous(self, candidates):
+        # With q_t paths (0,1,3) and (0,2), φ is a concatenation of path
+        # segments: either [0,1,3,2] or [0,2,1,3].
+        phi = CFLOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert phi in ([0, 1, 3, 2], [0, 2, 1, 3])
+
+
+class TestCECIOrdering:
+    def test_is_bfs_order(self, candidates):
+        phi = CECIOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert phi == [0, 1, 2, 3]
+
+
+class TestDPiso:
+    def test_degree_one_vertices_last(self):
+        data = erdos_renyi_graph(100, 6.0, 2, seed=41)
+        # Query: triangle with two pendant vertices.
+        query = Graph(
+            labels=[0, 1, 0, 1, 0],
+            edges=[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)],
+        )
+        cand = LDFFilter().run(query, data)
+        phi = DPisoOrdering().order(query, data, cand)
+        assert set(phi[-2:]) == {3, 4}
+
+    def test_adaptive_state_consistency(self, candidates):
+        state = DPisoOrdering().adaptive_state(PAPER_QUERY, PAPER_DATA, candidates)
+        assert sorted(state.position) == [0, 1, 2, 3]
+        assert len(state.weights) == 4
+        # Weight of a leaf-ish candidate is >= 0 and root weight counts paths.
+        assert state.estimated_work(0, candidates[0]) >= 0
+
+    def test_estimated_work_sums_candidates(self, candidates):
+        state = DPisoOrdering().adaptive_state(PAPER_QUERY, PAPER_DATA, candidates)
+        full = state.estimated_work(1, candidates[1])
+        half = state.estimated_work(1, candidates[1][:1])
+        assert full >= half >= 0
+
+
+class TestRI:
+    def test_starts_with_max_degree(self, paper_query):
+        phi = RIOrdering().order(paper_query, PAPER_DATA)
+        assert paper_query.degree(phi[0]) == max(
+            paper_query.degree(u) for u in paper_query.vertices()
+        )
+
+    def test_prefers_more_backward_neighbors(self):
+        # Kite: 0-1-2 triangle, 3 attached to 0 and 1, 4 attached to 3.
+        query = Graph(
+            labels=[0] * 5,
+            edges=[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (3, 4)],
+        )
+        phi = RIOrdering().order(query, Graph(labels=[0], edges=[]))
+        placed = phi[:2]
+        # The third vertex must be adjacent to both of the first two.
+        third = phi[2]
+        assert all(query.has_edge(third, w) for w in placed)
+
+    def test_purely_structural(self, candidates):
+        a = RIOrdering().order(PAPER_QUERY, PAPER_DATA)
+        b = RIOrdering().order(PAPER_QUERY, PAPER_DATA, candidates)
+        assert a == b
+
+
+class TestVF2pp:
+    def test_root_is_rarest_label(self, paper_query):
+        phi = VF2ppOrdering().order(paper_query, PAPER_DATA)
+        # Label A occurs once in the data graph; u0 is the A vertex.
+        assert phi[0] == 0
+
+    def test_level_by_level(self, paper_query):
+        from repro.graph.ops import bfs_tree
+
+        phi = VF2ppOrdering().order(paper_query, PAPER_DATA)
+        tree = bfs_tree(paper_query, phi[0])
+        depths = [tree.depth[u] for u in phi]
+        assert depths == sorted(depths)
+
+
+class TestSpectrum:
+    def test_random_connected_order_valid(self, paper_query):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            validate_order(paper_query, random_connected_order(paper_query, rng))
+
+    def test_sample_orders_distinct(self, paper_query):
+        orders = list(sample_orders(paper_query, 10, seed=1))
+        assert len(orders) == len({tuple(o) for o in orders})
+
+    def test_sample_orders_stops_when_exhausted(self):
+        g = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        # A path of 3 vertices has only 4 connected orders.
+        orders = list(sample_orders(g, 100, seed=2))
+        assert len(orders) <= 4
+
+    def test_random_ordering_class(self, paper_query):
+        o = RandomOrdering(seed=5)
+        validate_order(paper_query, o.order(paper_query, PAPER_DATA))
+
+    def test_seeded_reproducibility(self, paper_query):
+        a = list(sample_orders(paper_query, 5, seed=9))
+        b = list(sample_orders(paper_query, 5, seed=9))
+        assert a == b

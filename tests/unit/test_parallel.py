@@ -1,0 +1,73 @@
+"""Unit tests for the parallel study runner."""
+
+import pytest
+
+from repro.study import (
+    build_query_set,
+    load_dataset,
+    run_algorithm_on_set,
+    run_algorithm_on_set_parallel,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = load_dataset("ye", scale=0.3)
+    qs = build_query_set(data, "ye", 6, None, 5, seed=13)
+    return data, qs
+
+
+class TestParallelRunner:
+    def test_matches_sequential_results(self, workload):
+        data, qs = workload
+        sequential = run_algorithm_on_set(
+            "GQL-opt", data, qs.queries, time_limit=10.0
+        )
+        parallel = run_algorithm_on_set_parallel(
+            "GQL-opt", data, qs.queries, time_limit=10.0, workers=2
+        )
+        assert [r.num_matches for r in parallel.records] == [
+            r.num_matches for r in sequential.records
+        ]
+        assert [r.solved for r in parallel.records] == [
+            r.solved for r in sequential.records
+        ]
+
+    def test_records_in_query_order(self, workload):
+        data, qs = workload
+        summary = run_algorithm_on_set_parallel(
+            "RI-opt", data, qs.queries, time_limit=10.0, workers=2
+        )
+        assert [r.query_index for r in summary.records] == list(
+            range(len(qs.queries))
+        )
+
+    def test_glasgow_supported(self, workload):
+        data, qs = workload
+        summary = run_algorithm_on_set_parallel(
+            "GLW", data, qs.queries, time_limit=10.0, workers=2
+        )
+        assert summary.num_queries == len(qs.queries)
+
+    def test_rejects_specs(self, workload):
+        data, qs = workload
+        from repro.core import get_algorithm
+
+        with pytest.raises(TypeError, match="names only"):
+            run_algorithm_on_set_parallel(
+                get_algorithm("RI"), data, qs.queries  # type: ignore[arg-type]
+            )
+
+    def test_rejects_zero_workers(self, workload):
+        data, qs = workload
+        with pytest.raises(ValueError, match="worker"):
+            run_algorithm_on_set_parallel(
+                "RI-opt", data, qs.queries, workers=0
+            )
+
+    def test_single_worker_works(self, workload):
+        data, qs = workload
+        summary = run_algorithm_on_set_parallel(
+            "RI-opt", data, qs.queries, time_limit=10.0, workers=1
+        )
+        assert summary.num_queries == len(qs.queries)

@@ -1,0 +1,105 @@
+"""Unit tests for random-walk query extraction."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.graph import (
+    Graph,
+    erdos_renyi_graph,
+    extract_query,
+    generate_query_set,
+    rmat_graph,
+)
+from repro.graph.ops import connected
+from repro.graph.query_gen import DENSE_THRESHOLD
+
+
+@pytest.fixture(scope="module")
+def host():
+    # Clustered RMAT: has the dense pockets that dense query sets need
+    # (plain Erdős–Rényi at this size has no d(q) >= 3 subgraphs).
+    return rmat_graph(300, 6.0, 4, seed=17, clustering=0.3)
+
+
+class TestExtractQuery:
+    def test_size_and_connectivity(self, host):
+        q = extract_query(host, 8, seed=1)
+        assert q.num_vertices == 8
+        assert connected(q)
+
+    def test_dense_constraint(self, host):
+        q = extract_query(host, 8, seed=2, density="dense")
+        assert q.average_degree >= DENSE_THRESHOLD
+
+    def test_sparse_constraint(self, host):
+        q = extract_query(host, 8, seed=3, density="sparse")
+        assert q.average_degree < DENSE_THRESHOLD
+
+    def test_deterministic(self, host):
+        assert extract_query(host, 6, seed=5) == extract_query(host, 6, seed=5)
+
+    def test_labels_inherited(self, host):
+        q = extract_query(host, 6, seed=7)
+        assert q.label_set <= host.label_set
+
+    def test_minimum_size(self, host):
+        with pytest.raises(InvalidQueryError, match="at least 3"):
+            extract_query(host, 2, seed=1)
+
+    def test_too_large(self):
+        g = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        with pytest.raises(InvalidQueryError, match="cannot extract"):
+            extract_query(g, 10, seed=1)
+
+    def test_edgeless_graph(self):
+        g = Graph(labels=[0, 0, 0, 0], edges=[])
+        with pytest.raises(InvalidQueryError, match="no edges"):
+            extract_query(g, 3, seed=1)
+
+    def test_small_component_start_terminates(self):
+        # Regression: a walk starting inside a component smaller than the
+        # request must give up (budget), not spin forever. Vertex degrees
+        # bias sparse starts into the 3-cycle component.
+        g = Graph(
+            labels=[0] * 9,
+            edges=[
+                (0, 1), (1, 2), (2, 0),  # small component (degree 2)
+                (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6),
+                (3, 7), (4, 7), (5, 8), (6, 8),  # big component
+            ],
+        )
+        q = extract_query(g, 5, seed=1, density="sparse", max_attempts=500)
+        assert q.num_vertices == 5
+
+    def test_dense_needs_four_vertices(self, host):
+        with pytest.raises(InvalidQueryError, match="at least 4"):
+            extract_query(host, 3, seed=1, density="dense")
+
+    def test_impossible_density_raises(self):
+        # A tree has no dense (d >= 3) induced subgraphs.
+        g = Graph(labels=[0] * 6, edges=[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
+        with pytest.raises(InvalidQueryError, match="could not extract"):
+            extract_query(g, 4, seed=1, density="dense", max_attempts=20)
+
+
+class TestGenerateQuerySet:
+    def test_count(self, host):
+        qs = generate_query_set(host, 6, 5, seed=11)
+        assert len(qs) == 5
+        assert all(q.num_vertices == 6 for q in qs)
+
+    def test_deterministic(self, host):
+        a = generate_query_set(host, 5, 3, seed=13)
+        b = generate_query_set(host, 5, 3, seed=13)
+        assert a == b
+
+    def test_density_respected(self, host):
+        for q in generate_query_set(host, 8, 4, seed=19, density="dense"):
+            assert q.average_degree >= DENSE_THRESHOLD
+
+    def test_extension_stable_prefix(self, host):
+        # Requesting more queries must keep the earlier ones identical
+        # (each query has an independent derived seed).
+        short = generate_query_set(host, 5, 3, seed=23)
+        long = generate_query_set(host, 5, 6, seed=23)
+        assert long[:3] == short

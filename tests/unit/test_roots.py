@@ -1,0 +1,56 @@
+"""Unit tests for the BFS-root selection rules."""
+
+from fixtures import PAPER_DATA, PAPER_QUERY
+
+from repro.filtering.roots import ceci_root, cfl_root, dpiso_root
+from repro.graph import Graph
+
+
+class TestPaperExample:
+    def test_all_rules_pick_u0(self):
+        # u0 is the unique A-labeled vertex: rarest label, smallest C(u).
+        assert cfl_root(PAPER_QUERY, PAPER_DATA) == 0
+        assert ceci_root(PAPER_QUERY, PAPER_DATA) == 0
+        assert dpiso_root(PAPER_QUERY, PAPER_DATA) == 0
+
+
+class TestSelectivity:
+    def _graphs(self):
+        # Data: many 0-labeled vertices, one 1-labeled.
+        data = Graph(
+            labels=[0, 0, 0, 0, 1],
+            edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)],
+        )
+        # Query: a triangle with one rare-labeled vertex.
+        query = Graph(labels=[0, 0, 1], edges=[(0, 1), (1, 2), (0, 2)])
+        return query, data
+
+    def test_rare_label_preferred(self):
+        query, data = self._graphs()
+        assert ceci_root(query, data) == 2
+        assert dpiso_root(query, data) == 2
+
+    def test_cfl_prefers_core_vertices(self):
+        # Query: triangle (core) with a rare-labeled degree-1 tail.
+        query = Graph(
+            labels=[0, 0, 0, 1], edges=[(0, 1), (1, 2), (0, 2), (2, 3)]
+        )
+        data = Graph(
+            labels=[0, 0, 0, 0, 1],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3), (2, 4), (3, 4), (0, 3)],
+        )
+        root = cfl_root(query, data)
+        # The tail vertex 3 has the rarest label but is not in the 2-core.
+        assert root in {0, 1, 2}
+
+    def test_cfl_falls_back_without_core(self):
+        # A path has an empty 2-core; the rule must still pick something.
+        query = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        data = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        assert cfl_root(query, data) in {0, 1, 2}
+
+    def test_deterministic(self):
+        query, data = self._graphs()
+        assert cfl_root(query, data) == cfl_root(query, data)
+        assert ceci_root(query, data) == ceci_root(query, data)
+        assert dpiso_root(query, data) == dpiso_root(query, data)

@@ -1,0 +1,70 @@
+"""Unit tests for the lazy match iterator."""
+
+from itertools import islice
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro import iter_matches
+from repro.baselines import brute_force_matches
+from repro.errors import InvalidQueryError
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+
+
+class TestIterMatches:
+    def test_paper_example(self):
+        got = {
+            tuple(m[u] for u in range(4))
+            for m in iter_matches(PAPER_QUERY, PAPER_DATA)
+        }
+        assert got == set(PAPER_MATCHES)
+
+    def test_lazy_first_match(self):
+        data = erdos_renyi_graph(300, 8.0, 1, seed=1)
+        query = extract_query(data, 5, seed=2)
+        first = next(iter_matches(query, data))
+        assert len(first) == 5
+        for a, b in query.edges():
+            assert data.has_edge(first[a], first[b])
+
+    def test_islice_composition(self):
+        data = erdos_renyi_graph(200, 6.0, 1, seed=3)
+        query = extract_query(data, 4, seed=4)
+        three = list(islice(iter_matches(query, data), 3))
+        assert len(three) == 3
+        assert len({tuple(sorted(m.items())) for m in three}) == 3
+
+    def test_empty_candidates_yields_nothing(self):
+        query = Graph(labels=[9, 9, 9], edges=[(0, 1), (1, 2)])
+        assert list(iter_matches(query, PAPER_DATA)) == []
+
+    def test_agrees_with_oracle(self):
+        data = erdos_renyi_graph(15, 4.0, 2, seed=5)
+        query = extract_query(data, 4, seed=6, max_attempts=200)
+        got = {
+            tuple(m[u] for u in range(query.num_vertices))
+            for m in iter_matches(query, data)
+        }
+        assert got == set(brute_force_matches(query, data))
+
+    def test_validates_query(self):
+        with pytest.raises(InvalidQueryError):
+            next(iter_matches(Graph(labels=[0, 1], edges=[(0, 1)]), PAPER_DATA))
+        with pytest.raises(InvalidQueryError):
+            next(
+                iter_matches(
+                    Graph(labels=[0, 1, 2], edges=[(0, 1)]), PAPER_DATA
+                )
+            )
+
+    def test_no_duplicates_on_dense_host(self):
+        k5 = Graph(
+            labels=[0] * 5,
+            edges=[(a, b) for a in range(5) for b in range(a + 1, 5)],
+        )
+        triangle = Graph(labels=[0] * 3, edges=[(0, 1), (1, 2), (0, 2)])
+        all_matches = [
+            tuple(m[u] for u in range(3)) for m in iter_matches(triangle, k5)
+        ]
+        assert len(all_matches) == len(set(all_matches)) == 60

@@ -1,0 +1,186 @@
+"""Unit tests for the study harness (datasets, workloads, runner, reporting)."""
+
+import pytest
+
+from repro.study import (
+    DATASETS,
+    QuerySet,
+    build_query_set,
+    build_workload,
+    default_query_sizes,
+    format_series,
+    format_table,
+    friendster_standin,
+    load_dataset,
+    run_algorithm_on_set,
+)
+from repro.study.reporting import format_float
+from repro.study.runner import default_match_limit, default_time_limit
+
+
+class TestDatasets:
+    def test_registry_has_all_eight(self):
+        assert set(DATASETS) == {"ye", "hu", "hp", "wn", "up", "yt", "db", "eu"}
+
+    def test_paper_reference_values(self):
+        spec = DATASETS["ye"]
+        assert spec.paper_vertices == 3112
+        assert spec.paper_edges == 12519
+
+    def test_shape_matches_spec(self):
+        g = load_dataset("ye", scale=0.25)
+        spec = DATASETS["ye"]
+        assert g.num_vertices == round(spec.num_vertices * 0.25)
+        assert abs(g.average_degree - spec.avg_degree) < 2.0
+
+    def test_caching(self):
+        assert load_dataset("ye", scale=0.25) is load_dataset("ye", scale=0.25)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("bogus")
+
+    def test_scale_factor(self):
+        assert DATASETS["up"].scale_factor > 100
+
+    def test_friendster_edge_sampling(self):
+        full = friendster_standin(1.0, scale=0.05)
+        sampled = friendster_standin(0.4, scale=0.05)
+        assert sampled.num_vertices == full.num_vertices
+        assert sampled.num_edges < 0.6 * full.num_edges
+
+    def test_friendster_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            friendster_standin(0.0)
+
+    def test_wordnet_label_skew(self):
+        import numpy as np
+
+        g = load_dataset("wn", scale=0.3)
+        counts = np.bincount(np.asarray(g.labels))
+        assert counts.max() / g.num_vertices > 0.8
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def small_host(self):
+        return load_dataset("ye", scale=0.3)
+
+    def test_default_sizes(self):
+        assert default_query_sizes("hu") == [4, 6, 8, 10]
+        assert default_query_sizes("yt") == [4, 8, 12, 16]
+
+    def test_build_query_set(self, small_host):
+        qs = build_query_set(small_host, "ye", 6, "dense", 4, seed=1)
+        assert isinstance(qs, QuerySet)
+        assert len(qs) == 4
+        assert all(q.num_vertices == 6 for q in qs.queries)
+
+    def test_label_format(self, small_host):
+        assert build_query_set(small_host, "ye", 6, "dense", 2, seed=1).label == "Q6D"
+        assert build_query_set(small_host, "ye", 6, "sparse", 2, seed=1).label == "Q6S"
+        assert build_query_set(small_host, "ye", 4, None, 2, seed=1).label == "Q4"
+
+    def test_workload_structure(self, small_host):
+        sets = build_workload(small_host, "ye", sizes=[8], count=2, seed=5)
+        labels = [qs.label for qs in sets]
+        assert labels[0] == "Q4"
+        assert "Q8D" in labels and "Q8S" in labels
+
+    def test_workload_without_q4(self, small_host):
+        sets = build_workload(
+            small_host, "ye", sizes=[6], count=2, seed=5, include_q4=False
+        )
+        assert all(qs.size != 4 for qs in sets)
+
+    def test_deterministic(self, small_host):
+        a = build_query_set(small_host, "ye", 6, "dense", 3, seed=9)
+        b = build_query_set(small_host, "ye", 6, "dense", 3, seed=9)
+        assert a.queries == b.queries
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = load_dataset("ye", scale=0.3)
+        qs = build_query_set(data, "ye", 5, None, 4, seed=3)
+        return data, qs
+
+    def test_summary_fields(self, setup):
+        data, qs = setup
+        s = run_algorithm_on_set(
+            "GQL-opt", data, qs.queries, "ye", qs.label, time_limit=2.0
+        )
+        assert s.num_queries == 4
+        assert s.algorithm == "GQL-opt"
+        assert s.avg_preprocessing_ms >= 0
+        assert s.avg_enumeration_ms >= 0
+        assert s.num_unsolved == 0
+        assert s.avg_candidates is not None
+
+    def test_glasgow_supported(self, setup):
+        data, qs = setup
+        s = run_algorithm_on_set("GLW", data, qs.queries, time_limit=2.0)
+        assert s.num_queries == 4
+        assert s.algorithm == "GLW"
+
+    def test_categories_sum(self, setup):
+        data, qs = setup
+        s = run_algorithm_on_set("RI-opt", data, qs.queries, time_limit=2.0)
+        assert sum(s.categories().values()) == s.num_queries
+
+    def test_unsolved_charged_at_limit(self, setup):
+        data, qs = setup
+        s = run_algorithm_on_set("RI-opt", data, qs.queries, time_limit=2.0)
+        # Make one record unsolved artificially and check the charge.
+        from repro.study.runner import QueryRecord
+
+        s.records[0] = QueryRecord(
+            query_index=0,
+            preprocessing_ms=1.0,
+            enumeration_ms=123.0,
+            num_matches=0,
+            solved=False,
+            candidate_average=None,
+            memory_bytes=0,
+            recursion_calls=0,
+        )
+        assert s.num_unsolved == 1
+        assert s.avg_enumeration_ms >= 2000.0 / len(s.records)
+
+    def test_defaults_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIME_LIMIT", "7.5")
+        monkeypatch.setenv("REPRO_MATCH_CAP", "123")
+        assert default_time_limit() == 7.5
+        assert default_match_limit() == 123
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(0.0) == "0"
+        assert format_float(1.5) == "1.50"
+        assert format_float(1e7) == "1.00e+07"
+        assert format_float(0.0001) == "1.00e-04"
+
+    def test_format_table(self):
+        out = format_table(["name", "value"], [["x", 1.0], ["y", 2.5]])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert "2.50" in out
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [[1]], title="T1")
+        assert out.startswith("T1\n")
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_format_series(self):
+        out = format_series(
+            "Fig X", [4, 8], {"GQL": [1.0, 2.0], "RI": [None, 3.0]}
+        )
+        assert "Fig X" in out
+        assert "GQL" in out and "RI" in out
+        assert "-" in out  # the None cell

@@ -1,0 +1,55 @@
+"""Unit tests for Timer and Deadline."""
+
+import math
+import time
+
+import pytest
+
+from repro.utils.timer import Deadline, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_elapsed_ms(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed_ms == t.elapsed * 1000.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining == math.inf
+        assert d.limit is None
+
+    def test_expires(self):
+        d = Deadline(0.01)
+        time.sleep(0.02)
+        assert d.expired()
+        assert d.remaining < 0
+
+    def test_not_yet_expired(self):
+        d = Deadline(10.0)
+        assert not d.expired()
+        assert 0 < d.remaining <= 10.0
+        assert d.limit == 10.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)

@@ -1,0 +1,53 @@
+"""Unit tests for the embedding verification helper."""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
+
+from repro import explain_embedding_failure, verify_embedding
+from repro.graph import Graph
+
+
+class TestVerify:
+    def test_paper_matches_verify(self):
+        for embedding in PAPER_MATCHES:
+            assert verify_embedding(PAPER_QUERY, PAPER_DATA, embedding)
+
+    def test_mapping_form_accepted(self):
+        for embedding in PAPER_MATCHES:
+            mapping = dict(enumerate(embedding))
+            assert verify_embedding(PAPER_QUERY, PAPER_DATA, mapping)
+
+    def test_non_injective_rejected(self):
+        assert not verify_embedding(PAPER_QUERY, PAPER_DATA, (0, 4, 4, 10))
+        assert "injective" in explain_embedding_failure(
+            PAPER_QUERY, PAPER_DATA, (0, 4, 4, 10)
+        )
+
+    def test_label_mismatch_rejected(self):
+        # v1 has label C, u1 needs B.
+        reason = explain_embedding_failure(PAPER_QUERY, PAPER_DATA, (0, 1, 3, 10))
+        assert "label mismatch" in reason
+
+    def test_missing_edge_rejected(self):
+        # v2 is not adjacent to v3: query edge (u1, u2) breaks.
+        reason = explain_embedding_failure(PAPER_QUERY, PAPER_DATA, (0, 2, 3, 10))
+        assert "non-edge" in reason
+
+    def test_out_of_range_vertex(self):
+        reason = explain_embedding_failure(PAPER_QUERY, PAPER_DATA, (0, 4, 5, 999))
+        assert "nonexistent" in reason
+
+    def test_incomplete_mapping_raises(self):
+        with pytest.raises(ValueError, match="every query vertex"):
+            verify_embedding(PAPER_QUERY, PAPER_DATA, {0: 0, 1: 4})
+
+    def test_success_reason_empty(self):
+        embedding = next(iter(PAPER_MATCHES))
+        assert explain_embedding_failure(PAPER_QUERY, PAPER_DATA, embedding) == ""
+
+    def test_extra_data_edges_allowed(self):
+        # Monomorphism semantics: a path embeds into a triangle.
+        triangle = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        path = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        assert verify_embedding(path, triangle, (0, 1, 2))
