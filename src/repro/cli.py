@@ -26,6 +26,7 @@ from repro.graph import (
     save_graph,
 )
 from repro.study import DATASETS, format_table, load_dataset
+from repro.utils.kernels import available_kernels
 
 __all__ = ["main", "build_parser"]
 
@@ -47,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--match-limit", type=int, default=100_000)
     p_match.add_argument("--time-limit", type=float, default=None)
     p_match.add_argument(
+        "--kernel", "-k", choices=available_kernels(), default=None,
+        help="intersection backend for the Algorithm 5 hot path "
+        "(default: $REPRO_KERNEL, else the auto heuristic)",
+    )
+    p_match.add_argument(
         "--show", type=int, default=3, help="embeddings to print"
     )
 
@@ -63,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument("--match-limit", type=int, default=100_000)
     p_compare.add_argument("--time-limit", type=float, default=None)
+    p_compare.add_argument(
+        "--kernel", "-k", choices=available_kernels(), default=None,
+        help="intersection backend used by every preset",
+    )
 
     p_generate = sub.add_parser("generate", help="write a synthetic data graph")
     p_generate.add_argument("--model", choices=["rmat", "er"], default="rmat")
@@ -110,9 +120,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
             query, data,
             algorithm=args.algorithm,
             match_limit=args.match_limit, time_limit=args.time_limit,
+            kernel=args.kernel,
         )
     status = "solved" if result.solved else "UNSOLVED (time limit)"
     print(f"algorithm     : {result.algorithm}")
+    if getattr(result, "kernel", None) is not None:
+        print(f"kernel        : {result.kernel}")
     print(f"status        : {status}")
     print(f"matches       : {result.num_matches}")
     print(f"preprocessing : {result.preprocessing_ms:.3f} ms")
@@ -139,6 +152,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 algorithm=name,
                 match_limit=args.match_limit, time_limit=args.time_limit,
                 store_limit=0,
+                kernel=args.kernel,
             )
         rows.append(
             [

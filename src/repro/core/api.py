@@ -15,16 +15,19 @@ from repro.core.algorithms import resolve
 from repro.core.result import MatchResult
 from repro.core.spec import AlgorithmSpec
 from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.local_candidates import IntersectionLC
 from repro.errors import InvalidQueryError
 from repro.filtering.auxiliary import AuxiliaryStructure
 from repro.graph.graph import Graph
 from repro.graph.ops import connected
 from repro.ordering.dpiso import DPisoOrdering
+from repro.utils.kernels import KernelBackend, get_kernel
 from repro.utils.timer import Timer
 
 __all__ = ["match", "count_matches", "has_match"]
 
 AlgorithmLike = Union[str, AlgorithmSpec]
+KernelLike = Union[str, KernelBackend]
 
 
 def match(
@@ -35,6 +38,7 @@ def match(
     time_limit: Optional[float] = None,
     store_limit: int = 10_000,
     validate: bool = True,
+    kernel: Optional[KernelLike] = None,
 ) -> MatchResult:
     """Find matches of ``query`` in ``data``.
 
@@ -58,6 +62,15 @@ def match(
         Maximum embeddings retained in the result (counting continues).
     validate:
         Check the query's preconditions up front (disable in tight loops).
+    kernel:
+        Intersection backend for the Algorithm 5 hot path: a registry name
+        (``"scalar"``, ``"numpy"``, ``"bitset"``, ``"qfilter"``,
+        ``"auto"``) or a :class:`~repro.utils.kernels.KernelBackend`
+        instance. ``None`` defers to the ``REPRO_KERNEL`` environment
+        variable, falling back to the auto heuristic. An explicit argument
+        always wins; with ``None``, a spec constructed with its own
+        explicit kernel keeps it. Ignored (and recorded as ``None`` on the
+        result) when the algorithm's ComputeLC is not Algorithm 5.
 
     Examples
     --------
@@ -98,8 +111,21 @@ def match(
         else:
             order = spec.ordering.order(query, data, candidates)
 
+        # Resolve the intersection backend for the Algorithm 5 hot path.
+        # A spec constructed with an explicit kernel keeps it; the stock
+        # default is swapped for the session backend (env var / auto
+        # heuristic / the explicit `kernel` argument).
+        lc = spec.lc
+        kernel_used = None
+        if isinstance(lc, IntersectionLC) and (
+            kernel is not None or lc.uses_default_kernel
+        ):
+            backend = get_kernel(kernel, data=data, candidates=candidates)
+            lc = IntersectionLC(kernel=backend)
+            kernel_used = backend.name
+
     engine = BacktrackingEngine(
-        spec.lc,
+        lc,
         use_failing_sets=spec.failing_sets,
         adaptive=adaptive_state,
     )
@@ -129,6 +155,7 @@ def match(
         solved=outcome.solved,
         embeddings=outcome.embeddings,
         order=order,
+        kernel=kernel_used,
         preprocessing_seconds=prep_timer.elapsed,
         enumeration_seconds=outcome.elapsed,
         candidate_average=candidate_average,
@@ -143,6 +170,7 @@ def count_matches(
     algorithm: AlgorithmLike = "recommended",
     match_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
+    kernel: Optional[KernelLike] = None,
 ) -> int:
     """Number of matches (all of them by default); stores no embeddings."""
     return match(
@@ -152,6 +180,7 @@ def count_matches(
         match_limit=match_limit,
         time_limit=time_limit,
         store_limit=0,
+        kernel=kernel,
     ).num_matches
 
 
@@ -160,6 +189,7 @@ def has_match(
     data: Graph,
     algorithm: AlgorithmLike = "recommended",
     time_limit: Optional[float] = None,
+    kernel: Optional[KernelLike] = None,
 ) -> bool:
     """Whether at least one match exists (stops at the first)."""
     return (
@@ -170,6 +200,7 @@ def has_match(
             match_limit=1,
             time_limit=time_limit,
             store_limit=0,
+            kernel=kernel,
         ).num_matches
         > 0
     )

@@ -29,6 +29,11 @@ class MatchResult:
     #: Matching order φ actually used (None in adaptive mode).
     order: Optional[List[int]] = None
 
+    #: Registry name of the intersection kernel backend that served the
+    #: enumeration (``"scalar"``, ``"numpy"``, ``"bitset"``, ``"qfilter"``);
+    #: None when the algorithm has no Algorithm 5 intersection hot path.
+    kernel: Optional[str] = None
+
     preprocessing_seconds: float = 0.0
     enumeration_seconds: float = 0.0
 

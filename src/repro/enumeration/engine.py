@@ -173,7 +173,9 @@ class BacktrackingEngine:
     def _record_match(self) -> None:
         self._num_matches += 1
         if len(self._stored) < self._store_limit:
-            self._stored.append(tuple(self._ctx.mapping))
+            # Candidates may arrive as numpy ints; store plain ints so
+            # embeddings repr/compare cleanly regardless of the kernel.
+            self._stored.append(tuple(map(int, self._ctx.mapping)))
         if (
             self._match_limit is not None
             and self._num_matches >= self._match_limit
@@ -230,7 +232,7 @@ class BacktrackingEngine:
         lc = self.lc_method.compute(
             ctx, u, self._backward[depth], self._parent[depth]
         )
-        if not lc:
+        if len(lc) == 0:
             # Emptyset class: the failure involves u and the vertices whose
             # mappings determined LC(u, M).
             return u_bit | self._backward_mask[depth]
@@ -338,7 +340,7 @@ class BacktrackingEngine:
         backward_mask = 0
         for w in backward:
             backward_mask |= 1 << w
-        if not lc:
+        if len(lc) == 0:
             return u_bit | backward_mask
         mapping, used = ctx.mapping, ctx.used
         fs_total = 0

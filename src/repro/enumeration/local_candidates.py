@@ -106,12 +106,8 @@ class LocalCandidateMethod(ABC):
         if ctx.candidates is not None:
             return ctx.candidates[u]
         query, data = ctx.query, ctx.data
-        du = query.degree(u)
-        return [
-            v
-            for v in data.vertices_with_label(query.label(u)).tolist()
-            if data.degree(v) >= du
-        ]
+        pool = data.vertices_with_label(query.label(u))
+        return pool[data.degrees[pool] >= query.degree(u)]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -239,12 +235,21 @@ class TreeAdjacencyLC(LocalCandidateMethod):
 class IntersectionLC(LocalCandidateMethod):
     """Algorithm 5: intersect candidate adjacency over all backward neighbors.
 
-    ``kernel`` is either a pairwise callable over sorted lists (default:
-    the paper's hybrid merge/galloping method) or a *set index* object
-    exposing ``intersect``/``multi_intersect`` (``QFilterIndex``,
-    ``BitmapSetIndex``) — index objects intersect in their packed domain
-    and encode-cache only the long-lived auxiliary lists, which is how
-    Figure 10 models QFilter's one-time layout conversion.
+    ``kernel`` selects the intersection backend:
+
+    * ``None`` (default) — the paper's scalar hybrid merge/galloping
+      method. :func:`repro.core.api.match` swaps in the session's
+      resolved :class:`~repro.utils.kernels.KernelBackend` for this
+      default; an explicitly passed kernel is never overridden.
+    * a registered backend name (``"scalar"``, ``"numpy"``, ``"bitset"``,
+      ``"qfilter"``, ``"auto"``) — resolved via
+      :func:`repro.utils.kernels.get_kernel`.
+    * a pairwise callable over sorted lists, or an object exposing
+      ``multi_intersect`` (a :class:`~repro.utils.kernels.KernelBackend`,
+      ``QFilterIndex``, ``BitmapSetIndex``) — index objects intersect in
+      their packed domain and encode-cache the long-lived auxiliary
+      lists, which is how Figure 10 models QFilter's one-time layout
+      conversion.
     """
 
     name = "ALG5"
@@ -253,8 +258,20 @@ class IntersectionLC(LocalCandidateMethod):
 
     def __init__(
         self,
-        kernel: Callable[[Sequence[int], Sequence[int]], List[int]] = intersect_hybrid,
+        kernel: Optional[
+            Callable[[Sequence[int], Sequence[int]], List[int]]
+        ] = None,
     ) -> None:
+        #: True when no kernel was requested, letting ``match(kernel=...)``
+        #: substitute the session backend without clobbering an explicit
+        #: choice.
+        self.uses_default_kernel = kernel is None
+        if kernel is None:
+            kernel = intersect_hybrid
+        elif isinstance(kernel, str):
+            from repro.utils.kernels import get_kernel
+
+            kernel = get_kernel(kernel)
         self.kernel = kernel
         self._index = kernel if hasattr(kernel, "multi_intersect") else None
 

@@ -19,7 +19,7 @@ from repro.graph.graph import Graph
 from repro.graph.ops import connected
 from repro.ordering.graphql import GraphQLOrdering
 from repro.ordering.ri import RIOrdering
-from repro.utils.intersection import multi_intersect
+from repro.utils.kernels import get_kernel
 
 __all__ = ["iter_matches"]
 
@@ -28,8 +28,13 @@ def iter_matches(
     query: Graph,
     data: Graph,
     dense_degree: float = 10.0,
+    kernel: Optional[str] = None,
 ) -> Iterator[Dict[int, int]]:
     """Yield matches lazily as ``{query_vertex: data_vertex}`` dicts.
+
+    ``kernel`` selects the intersection backend by registry name
+    (``"scalar"``, ``"numpy"``, ``"bitset"``, ``"qfilter"``, ``"auto"``);
+    ``None`` defers to ``REPRO_KERNEL`` / the auto heuristic.
 
     >>> from repro.graph import Graph
     >>> from itertools import islice
@@ -48,6 +53,7 @@ def iter_matches(
     if candidates.has_empty_set:
         return
     auxiliary = AuxiliaryStructure.build(query, data, candidates, scope="all")
+    backend = get_kernel(kernel, data=data, candidates=candidates)
     ordering = (
         GraphQLOrdering()
         if data.average_degree >= dense_degree
@@ -75,7 +81,7 @@ def iter_matches(
         ]
         if len(lists) == 1:
             return lists[0]
-        return multi_intersect(lists)
+        return backend.multi_intersect(lists)
 
     # Explicit-stack DFS: each frame is (candidate list, next index).
     mapping = [-1] * query.num_vertices
@@ -100,7 +106,7 @@ def iter_matches(
         mapping[u] = v
         used.add(v)
         if depth + 1 == n:
-            yield {w: mapping[w] for w in range(query.num_vertices)}
+            yield {w: int(mapping[w]) for w in range(query.num_vertices)}
             used.discard(v)
             mapping[u] = -1
         else:

@@ -2,16 +2,41 @@
 
 These implement the primitive of Observation 3.1 / Filtering Rule 3.1:
 checking whether a candidate has at least one neighbor inside another
-candidate set, iterating whichever side is smaller.
+candidate set. The scalar :func:`has_candidate_neighbor` iterates whichever
+side is smaller; the vectorized pass (:func:`refine_keep` over
+:func:`neighbor_hit_mask`) gathers every candidate's CSR neighbor slice in
+one shot and reduces a membership bitmap over it, so a whole refinement
+sweep costs a handful of numpy calls instead of a Python loop per
+candidate-neighbor pair.
 """
 
 from __future__ import annotations
 
 from typing import AbstractSet, Sequence
 
+import numpy as np
+
 from repro.graph.graph import Graph
 
-__all__ = ["has_candidate_neighbor", "neighbor_expansion"]
+__all__ = [
+    "as_vertex_array",
+    "has_candidate_neighbor",
+    "neighbor_expansion",
+    "neighbor_hit_mask",
+    "neighbor_union",
+    "refine_keep",
+]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def as_vertex_array(values: Sequence[int]) -> np.ndarray:
+    """``values`` as an int64 vertex-id array (no copy for int64 arrays)."""
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.int64:
+            return values
+        return values.astype(np.int64)
+    return np.asarray(values, dtype=np.int64)
 
 
 def has_candidate_neighbor(
@@ -33,3 +58,82 @@ def neighbor_expansion(data: Graph, candidate_list: Sequence[int]) -> set:
     for v in candidate_list:
         pool.update(data.neighbor_set(v))
     return pool
+
+
+def _ragged_indices(starts: np.ndarray, lengths: np.ndarray, total: int) -> np.ndarray:
+    """Flat CSR indices selecting each ``starts[i] .. +lengths[i]`` slice."""
+    seg_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=seg_starts[1:])
+    return np.repeat(starts - seg_starts, lengths) + np.arange(total, dtype=np.int64)
+
+
+def neighbor_union(data: Graph, vertices: Sequence[int]) -> np.ndarray:
+    """``N(C)`` as a sorted unique array — vectorized neighbor expansion."""
+    vs = as_vertex_array(vertices)
+    if vs.size == 0:
+        return _EMPTY_I64
+    offsets, neighbors = data.csr
+    starts = offsets[vs]
+    lengths = offsets[vs + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY_I64
+    return np.unique(neighbors[_ragged_indices(starts, lengths, total)])
+
+
+def neighbor_hit_mask(
+    data: Graph, vertices: np.ndarray, member_mask: np.ndarray
+) -> np.ndarray:
+    """Per-vertex ``N(v) ∩ C ≠ ∅`` over a membership bitmap, batched.
+
+    ``member_mask`` is a bool array over the data-vertex universe with
+    ``True`` at the members of ``C``. Returns a bool array aligned with
+    ``vertices``. One gather plus one segmented OR — no per-vertex loop.
+    """
+    vs = as_vertex_array(vertices)
+    out = np.zeros(vs.size, dtype=bool)
+    if vs.size == 0:
+        return out
+    offsets, neighbors = data.csr
+    starts = offsets[vs]
+    lengths = offsets[vs + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return out
+    idx = _ragged_indices(starts, lengths, total)
+    hits = member_mask[neighbors[idx]]
+    seg_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=seg_starts[1:])
+    nonempty = lengths > 0
+    # reduceat boundaries: zero-length segments share their start with the
+    # following segment, so dropping them leaves boundaries that exactly
+    # tile the gathered hits array.
+    out[nonempty] = np.bitwise_or.reduceat(hits, seg_starts[nonempty])
+    return out
+
+
+def refine_keep(
+    data: Graph,
+    target: Sequence[int],
+    anchor_lists: Sequence[Sequence[int]],
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """Filtering Rule 3.1, batched: keep ``v ∈ target`` with at least one
+    neighbor in every anchor list.
+
+    ``scratch`` is a reusable bool array over the data-vertex universe
+    (all ``False`` on entry; restored to all ``False`` on exit). The
+    surviving candidates shrink after each anchor, so later anchors scan
+    progressively smaller gather sets.
+    """
+    vs = as_vertex_array(target)
+    for anchor in anchor_lists:
+        if vs.size == 0:
+            break
+        arr = as_vertex_array(anchor)
+        if arr.size == 0:
+            return _EMPTY_I64
+        scratch[arr] = True
+        vs = vs[neighbor_hit_mask(data, vs, scratch)]
+        scratch[arr] = False
+    return vs

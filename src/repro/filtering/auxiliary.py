@@ -18,9 +18,12 @@ determined by the final ``C`` sets.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Literal, Optional, Tuple
+from typing import Dict, Iterable, Literal, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.filtering._common import _ragged_indices
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
 from repro.graph.ops import BFSTree
@@ -29,7 +32,7 @@ __all__ = ["AuxiliaryStructure", "Scope"]
 
 Scope = Literal["none", "tree", "all"]
 
-_EMPTY: List[int] = []
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 class AuxiliaryStructure:
@@ -46,7 +49,7 @@ class AuxiliaryStructure:
 
     def __init__(
         self,
-        tables: Dict[Tuple[int, int], Dict[int, List[int]]],
+        tables: Dict[Tuple[int, int], Dict[int, np.ndarray]],
         scope: Scope,
     ) -> None:
         self._tables = tables
@@ -82,23 +85,45 @@ class AuxiliaryStructure:
         else:
             raise ConfigurationError(f"unknown auxiliary scope {scope!r}")
 
-        tables: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
+        tables: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        member = np.zeros(data.num_vertices, dtype=bool)
         for u, u2 in pairs:
-            tables[(u, u2)] = cls._adjacency(data, candidates, u, u2)
-            tables[(u2, u)] = cls._adjacency(data, candidates, u2, u)
+            tables[(u, u2)] = cls._adjacency(data, candidates, u, u2, member)
+            tables[(u2, u)] = cls._adjacency(data, candidates, u2, u, member)
         return cls(tables, scope)
 
     @staticmethod
     def _adjacency(
-        data: Graph, candidates: CandidateSets, u_from: int, u_to: int
-    ) -> Dict[int, List[int]]:
-        """``{v: sorted(N(v) ∩ C(u_to))}`` for each ``v ∈ C(u_from)``."""
-        target = candidates.membership(u_to)
-        table: Dict[int, List[int]] = {}
-        for v in candidates[u_from]:
-            # data.neighbors(v) is sorted, so the filtered list stays sorted.
-            table[v] = [w for w in data.neighbors(v).tolist() if w in target]
-        return table
+        data: Graph,
+        candidates: CandidateSets,
+        u_from: int,
+        u_to: int,
+        member: np.ndarray,
+    ) -> Dict[int, np.ndarray]:
+        """``{v: N(v) ∩ C(u_to)}`` (sorted arrays) for each ``v ∈ C(u_from)``.
+
+        One ragged gather over the CSR slices of all of ``C(u_from)``, one
+        membership mask against ``C(u_to)``, then a segmented split — no
+        per-candidate Python loop. ``member`` is a reusable bool scratch of
+        size ``|V(G)|``.
+        """
+        source = candidates.array(u_from)
+        if source.size == 0:
+            return {}
+        target = candidates.array(u_to)
+        member[target] = True
+        offsets, neighbors = data.csr
+        starts = offsets[source]
+        lengths = offsets[source + 1] - starts
+        total = int(lengths.sum())
+        gathered = neighbors[_ragged_indices(starts, lengths, total)]
+        keep = member[gathered]
+        member[target] = False
+        seg = np.repeat(np.arange(source.size), lengths)
+        kept_counts = np.bincount(seg[keep], minlength=source.size)
+        chunks = np.split(gathered[keep], np.cumsum(kept_counts)[:-1])
+        # data.neighbors(v) is sorted, so each filtered chunk stays sorted.
+        return {int(v): chunk for v, chunk in zip(source.tolist(), chunks)}
 
     # ------------------------------------------------------------------
     # Lookups
@@ -113,12 +138,12 @@ class AuxiliaryStructure:
         """Whether the directed pair ``(u_from, u_to)`` is materialized."""
         return (u_from, u_to) in self._tables
 
-    def neighbors(self, u_from: int, u_to: int, v: int) -> List[int]:
+    def neighbors(self, u_from: int, u_to: int, v: int) -> np.ndarray:
         """``A_{u_to}^{u_from}(v)``: candidates of ``u_to`` adjacent to ``v``.
 
-        Returns an empty list if ``v`` is not a candidate of ``u_from``;
-        raises ``KeyError`` if the pair itself is not materialized (that is
-        a wiring bug, not a data condition).
+        Returns a sorted int64 array (do not mutate). Empty if ``v`` is not
+        a candidate of ``u_from``; raises ``KeyError`` if the pair itself is
+        not materialized (that is a wiring bug, not a data condition).
         """
         return self._tables[(u_from, u_to)].get(v, _EMPTY)
 

@@ -10,7 +10,6 @@ and DP-iso layer NLF on top of LDF.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List
 
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
@@ -43,14 +42,14 @@ def nlf_check(query: Graph, u: int, data: Graph, v: int) -> bool:
     return True
 
 
-def ldf_candidates_for(query: Graph, u: int, data: Graph) -> List[int]:
-    """The sorted LDF candidate list of one query vertex."""
-    du = query.degree(u)
-    return [
-        v
-        for v in data.vertices_with_label(query.label(u)).tolist()
-        if data.degree(v) >= du
-    ]
+def ldf_candidates_for(query: Graph, u: int, data: Graph):
+    """The sorted LDF candidates of one query vertex (int64 array).
+
+    One label-index lookup plus a vectorized degree mask — no per-vertex
+    Python loop.
+    """
+    pool = data.vertices_with_label(query.label(u))
+    return pool[data.degrees[pool] >= query.degree(u)]
 
 
 class Filter(ABC):

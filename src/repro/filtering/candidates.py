@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.graph.graph import Graph
 
 __all__ = ["CandidateSets"]
@@ -28,7 +30,7 @@ class CandidateSets:
         Each is deduplicated and sorted on construction.
     """
 
-    __slots__ = ("_query", "_lists", "_sets")
+    __slots__ = ("_query", "_lists", "_sets", "_arrays")
 
     def __init__(self, query: Graph, sets: Sequence[Iterable[int]]) -> None:
         if len(sets) != query.num_vertices:
@@ -41,6 +43,9 @@ class CandidateSets:
         )
         self._sets: Tuple[frozenset, ...] = tuple(
             frozenset(lst) for lst in self._lists
+        )
+        self._arrays: Tuple[np.ndarray, ...] = tuple(
+            np.asarray(lst, dtype=np.int64) for lst in self._lists
         )
 
     @property
@@ -58,6 +63,15 @@ class CandidateSets:
     def membership(self, u: int) -> frozenset:
         """``C(u)`` as a frozenset for O(1) membership checks."""
         return self._sets[u]
+
+    def array(self, u: int) -> np.ndarray:
+        """``C(u)`` as a sorted int64 array (do not mutate).
+
+        The array is built once at construction; vectorized consumers
+        (auxiliary-structure build, kernel backends) index and mask it
+        without re-materializing the Python list.
+        """
+        return self._arrays[u]
 
     def contains(self, u: int, v: int) -> bool:
         """Whether data vertex ``v`` is a candidate of query vertex ``u``."""

@@ -14,14 +14,20 @@ Section 3.1.1: CECI shares CFL's two rules but differs in the sweep —
 
 Time and space complexity are both ``O(|E(q)|·|E(G)|)``. CECI's auxiliary
 structure covers every query edge (scope ``"all"``), enabling Algorithm 5.
+
+Candidate lists live in int64 arrays; generation pools neighbors with one
+ragged CSR gather and every pruning step is a batched
+:func:`~repro.filtering._common.refine_keep`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional
 
-from repro.filtering._common import has_candidate_neighbor
-from repro.filtering.base import Filter, ldf_check, nlf_check
+import numpy as np
+
+from repro.filtering._common import neighbor_union, refine_keep
+from repro.filtering.base import Filter, nlf_check
 from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import ceci_root
 from repro.graph.graph import Graph
@@ -37,8 +43,9 @@ class CECIFilter(Filter):
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
         tree = self.build_tree(query, data)
-        lists = self._construct(query, data, tree)
-        self._refine_reverse(data, tree, lists)
+        scratch = np.zeros(data.num_vertices, dtype=bool)
+        lists = self._construct(query, data, tree, scratch)
+        self._refine_reverse(data, tree, lists, scratch)
         return CandidateSets(query, lists)
 
     @staticmethod
@@ -49,38 +56,36 @@ class CECIFilter(Filter):
     # ------------------------------------------------------------------
 
     def _construct(
-        self, query: Graph, data: Graph, tree: BFSTree
-    ) -> List[List[int]]:
+        self, query: Graph, data: Graph, tree: BFSTree, scratch: np.ndarray
+    ) -> List[np.ndarray]:
         n = query.num_vertices
-        lists: List[Optional[List[int]]] = [None] * n
-        sets: List[Optional[Set[int]]] = [None] * n
+        lists: List[Optional[np.ndarray]] = [None] * n
         position = {v: i for i, v in enumerate(tree.order)}
 
         root = tree.root
-        lists[root] = [
-            v
-            for v in data.vertices_with_label(query.label(root)).tolist()
-            if data.degree(v) >= query.degree(root)
-            and nlf_check(query, root, data, v)
-        ]
-        sets[root] = set(lists[root])
+        pool = data.vertices_with_label(query.label(root))
+        pool = pool[data.degrees[pool] >= query.degree(root)]
+        lists[root] = np.asarray(
+            [v for v in pool.tolist() if nlf_check(query, root, data, v)],
+            dtype=np.int64,
+        )
 
         for u in tree.order[1:]:
             parent = tree.parent[u]
-            # Generate C(u) from the parent set alone (X = {u_p}).
-            pool: Set[int] = set()
-            for v in lists[parent]:  # type: ignore[union-attr]
-                pool.update(data.neighbor_set(v))
-            generated = [
-                v
-                for v in sorted(pool)
-                if ldf_check(query, u, data, v) and nlf_check(query, u, data, v)
+            # Generate C(u) from the parent set alone (X = {u_p}): one
+            # ragged gather over the parent candidates, then LDF + NLF.
+            pool = neighbor_union(data, lists[parent])  # type: ignore[arg-type]
+            pool = pool[
+                (data.labels[pool] == query.label(u))
+                & (data.degrees[pool] >= query.degree(u))
             ]
-            lists[u] = generated
-            sets[u] = set(generated)
+            lists[u] = np.asarray(
+                [v for v in pool.tolist() if nlf_check(query, u, data, v)],
+                dtype=np.int64,
+            )
 
             # Rule out parent candidates with no child in C(u).
-            self._prune_against(data, parent, u, lists, sets)
+            self._prune_against(data, parent, u, lists, scratch)
 
             # Non-tree backward neighbors prune C(u) and are pruned back.
             for u_n in query.neighbors(u).tolist():
@@ -88,8 +93,8 @@ class CECIFilter(Filter):
                     continue
                 if position[u_n] > position[u]:
                     continue
-                self._prune_against(data, u, u_n, lists, sets)
-                self._prune_against(data, u_n, u, lists, sets)
+                self._prune_against(data, u, u_n, lists, scratch)
+                self._prune_against(data, u_n, u, lists, scratch)
 
         assert all(lst is not None for lst in lists)
         return lists  # type: ignore[return-value]
@@ -99,31 +104,27 @@ class CECIFilter(Filter):
         data: Graph,
         target: int,
         anchor: int,
-        lists: List[Optional[List[int]]],
-        sets: List[Optional[Set[int]]],
+        lists: List[Optional[np.ndarray]],
+        scratch: np.ndarray,
     ) -> None:
         """Keep only candidates of ``target`` with a neighbor in ``C(anchor)``."""
-        kept = [
-            v
-            for v in lists[target]  # type: ignore[union-attr]
-            if has_candidate_neighbor(data, v, lists[anchor], sets[anchor])  # type: ignore[arg-type]
-        ]
-        if len(kept) != len(lists[target]):  # type: ignore[arg-type]
-            lists[target] = kept
-            sets[target] = set(kept)
+        lists[target] = refine_keep(
+            data, lists[target], [lists[anchor]], scratch  # type: ignore[arg-type]
+        )
 
     def _refine_reverse(
-        self, data: Graph, tree: BFSTree, lists: List[List[int]]
+        self,
+        data: Graph,
+        tree: BFSTree,
+        lists: List[np.ndarray],
+        scratch: np.ndarray,
     ) -> None:
         """Reverse-δ refinement against children only."""
-        sets = [set(lst) for lst in lists]
         for u in reversed(tree.order):
-            for child in tree.children[u]:
-                kept = [
-                    v
-                    for v in lists[u]
-                    if has_candidate_neighbor(data, v, lists[child], sets[child])
-                ]
-                if len(kept) != len(lists[u]):
-                    lists[u] = kept
-                    sets[u] = set(kept)
+            if tree.children[u]:
+                lists[u] = refine_keep(
+                    data,
+                    lists[u],
+                    [lists[child] for child in tree.children[u]],
+                    scratch,
+                )

@@ -17,14 +17,20 @@ tree ``q_t`` of the query —
 Time complexity ``O(|E(q)|·|E(G)|)``; the auxiliary structure CFL pairs with
 these sets covers *tree edges only* (scope ``"tree"``), which is what limits
 its ComputeLC to Algorithm 4.
+
+Both phases run on the CSR arrays directly: candidate lists are int64
+arrays, neighbor expansion is one ragged gather + ``np.unique``, and every
+Filtering Rule 3.1 sweep is a batched :func:`~repro.filtering._common.refine_keep`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional
 
-from repro.filtering._common import has_candidate_neighbor
-from repro.filtering.base import Filter, ldf_check, nlf_check
+import numpy as np
+
+from repro.filtering._common import neighbor_union, refine_keep
+from repro.filtering.base import Filter, nlf_check
 from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import cfl_root
 from repro.graph.graph import Graph
@@ -40,8 +46,9 @@ class CFLFilter(Filter):
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
         tree = self.build_tree(query, data)
-        lists = self._generate(query, data, tree)
-        self._refine_bottom_up(query, data, tree, lists)
+        scratch = np.zeros(data.num_vertices, dtype=bool)
+        lists = self._generate(query, data, tree, scratch)
+        self._refine_bottom_up(query, data, tree, lists, scratch)
         return CandidateSets(query, lists)
 
     @staticmethod
@@ -52,8 +59,8 @@ class CFLFilter(Filter):
     # ------------------------------------------------------------------
 
     def _generate(
-        self, query: Graph, data: Graph, tree: BFSTree
-    ) -> List[List[int]]:
+        self, query: Graph, data: Graph, tree: BFSTree, scratch: np.ndarray
+    ) -> List[np.ndarray]:
         """Top-down generation with per-level backward pruning.
 
         Backward pruning applies Filtering Rule 3.1 only through non-tree
@@ -64,8 +71,7 @@ class CFLFilter(Filter):
         refinement phase.
         """
         n = query.num_vertices
-        lists: List[Optional[List[int]]] = [None] * n
-        sets: List[Optional[Set[int]]] = [None] * n
+        lists: List[Optional[np.ndarray]] = [None] * n
         depth = tree.depth
 
         for u in tree.order:
@@ -74,22 +80,14 @@ class CFLFilter(Filter):
                 for w in query.neighbors(u).tolist()
                 if lists[w] is not None
             ]
-            lists[u] = self._generate_one(query, data, u, backward, lists, sets)
-            sets[u] = set(lists[u])
+            lists[u] = self._generate_one(query, data, u, backward, lists, scratch)
 
             # Same-level backward pruning (necessarily non-tree edges,
             # since tree edges always cross levels).
             for w in backward:
                 if depth[w] != depth[u]:
                     continue
-                kept = [
-                    v
-                    for v in lists[w]
-                    if has_candidate_neighbor(data, v, lists[u], sets[u])
-                ]
-                if len(kept) != len(lists[w]):
-                    lists[w] = kept
-                    sets[w] = set(kept)
+                lists[w] = refine_keep(data, lists[w], [lists[u]], scratch)
 
         assert all(lst is not None for lst in lists)
         return lists  # type: ignore[return-value]
@@ -100,44 +98,38 @@ class CFLFilter(Filter):
         data: Graph,
         u: int,
         backward: List[int],
-        lists: List[Optional[List[int]]],
-        sets: List[Optional[Set[int]]],
-    ) -> List[int]:
+        lists: List[Optional[np.ndarray]],
+        scratch: np.ndarray,
+    ) -> np.ndarray:
         """Generation Rule 3.1 for one vertex, under LDF + NLF checks."""
         if not backward:
             # The root: plain LDF + NLF.
-            return [
-                v
-                for v in data.vertices_with_label(query.label(u)).tolist()
-                if data.degree(v) >= query.degree(u)
-                and nlf_check(query, u, data, v)
+            pool = data.vertices_with_label(query.label(u))
+            pool = pool[data.degrees[pool] >= query.degree(u)]
+            others: List[np.ndarray] = []
+        else:
+            # Expand from the smallest backward candidate set, then apply
+            # LDF in one vectorized pass over the pooled neighbors.
+            seed = min(backward, key=lambda w: len(lists[w]))  # type: ignore[arg-type]
+            others = [lists[w] for w in backward if w != seed]  # type: ignore[misc]
+            pool = neighbor_union(data, lists[seed])  # type: ignore[arg-type]
+            pool = pool[
+                (data.labels[pool] == query.label(u))
+                & (data.degrees[pool] >= query.degree(u))
             ]
-        # Expand from the smallest backward candidate set, then verify
-        # LDF/NLF and adjacency to every other backward set.
-        seed = min(backward, key=lambda w: len(lists[w]))  # type: ignore[arg-type]
-        others = [w for w in backward if w != seed]
-        pool: Set[int] = set()
-        for v in lists[seed]:  # type: ignore[union-attr]
-            pool.update(data.neighbor_set(v))
-        survivors = []
-        for v in sorted(pool):
-            if not ldf_check(query, u, data, v):
-                continue
-            if not nlf_check(query, u, data, v):
-                continue
-            if all(
-                has_candidate_neighbor(data, v, lists[w], sets[w])  # type: ignore[arg-type]
-                for w in others
-            ):
-                survivors.append(v)
-        return survivors
+        survivors = np.asarray(
+            [v for v in pool.tolist() if nlf_check(query, u, data, v)],
+            dtype=np.int64,
+        )
+        return refine_keep(data, survivors, others, scratch)
 
     @staticmethod
     def _refine_bottom_up(
         query: Graph,
         data: Graph,
         tree: BFSTree,
-        lists: List[List[int]],
+        lists: List[np.ndarray],
+        scratch: np.ndarray,
     ) -> None:
         """Reverse-BFS sweep of Filtering Rule 3.1 over *deeper* neighbors.
 
@@ -146,7 +138,6 @@ class CFLFilter(Filter):
         are refined based on ``C(u3)``, not against each other).
         """
         depth = tree.depth
-        sets = [set(lst) for lst in lists]
         for u in reversed(tree.order):
             deeper = [
                 w
@@ -155,14 +146,6 @@ class CFLFilter(Filter):
             ]
             if not deeper:
                 continue
-            kept = [
-                v
-                for v in lists[u]
-                if all(
-                    has_candidate_neighbor(data, v, lists[w], sets[w])
-                    for w in deeper
-                )
-            ]
-            if len(kept) != len(lists[u]):
-                lists[u] = kept
-                sets[u] = set(kept)
+            lists[u] = refine_keep(
+                data, lists[u], [lists[w] for w in deeper], scratch
+            )

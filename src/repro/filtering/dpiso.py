@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.filtering._common import has_candidate_neighbor
+import numpy as np
+
+from repro.filtering._common import as_vertex_array, refine_keep
 from repro.filtering.base import Filter, ldf_candidates_for, nlf_check
 from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import dpiso_root
@@ -51,10 +53,11 @@ class DPisoFilter(Filter):
         tree = self.build_tree(query, data)
         position = {v: i for i, v in enumerate(tree.order)}
 
-        lists: List[List[int]] = [
-            ldf_candidates_for(query, u, data) for u in query.vertices()
+        lists: List[np.ndarray] = [
+            as_vertex_array(ldf_candidates_for(query, u, data))
+            for u in query.vertices()
         ]
-        sets = [set(lst) for lst in lists]
+        scratch = np.zeros(data.num_vertices, dtype=bool)
 
         for phase in range(1, self.refinement_phases + 1):
             reverse = phase % 2 == 1
@@ -73,18 +76,15 @@ class DPisoFilter(Filter):
                         for w in query.neighbors(u).tolist()
                         if position[w] < position[u]
                     ]
-                kept = []
-                for v in lists[u]:
-                    if apply_nlf and not nlf_check(query, u, data, v):
-                        continue
-                    if all(
-                        has_candidate_neighbor(data, v, lists[w], sets[w])
-                        for w in anchors
-                    ):
-                        kept.append(v)
-                if len(kept) != len(lists[u]):
-                    lists[u] = kept
-                    sets[u] = set(kept)
+                vs = lists[u]
+                if apply_nlf:
+                    vs = np.asarray(
+                        [v for v in vs.tolist() if nlf_check(query, u, data, v)],
+                        dtype=np.int64,
+                    )
+                lists[u] = refine_keep(
+                    data, vs, [lists[w] for w in anchors], scratch
+                )
 
         return CandidateSets(query, lists)
 

@@ -76,6 +76,7 @@ class Graph:
         "_labels",
         "_offsets",
         "_neighbors",
+        "_degrees",
         "_neighbor_sets",
         "_label_index",
         "_nlf_cache",
@@ -97,40 +98,43 @@ class Graph:
         n = int(labels_arr.size)
         edge_list = _normalize_edges(n, edges)
 
-        degrees = np.zeros(n, dtype=np.int64)
-        for u, v in edge_list:
-            degrees[u] += 1
-            degrees[v] += 1
-
+        # Vectorized CSR build: mirror every edge, lexsort by (source,
+        # target) so each vertex's neighbor slice comes out sorted, and
+        # read the degrees off a bincount. No per-edge Python loop.
+        if edge_list:
+            e = np.asarray(edge_list, dtype=np.int64)
+            src = np.concatenate([e[:, 0], e[:, 1]])
+            dst = np.concatenate([e[:, 1], e[:, 0]])
+            order = np.lexsort((dst, src))
+            degrees = np.bincount(src, minlength=n).astype(np.int64, copy=False)
+            neighbors = dst[order]
+        else:
+            degrees = np.zeros(n, dtype=np.int64)
+            neighbors = np.empty(0, dtype=np.int64)
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=offsets[1:])
-        neighbors = np.empty(int(offsets[-1]), dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        for u, v in edge_list:
-            neighbors[cursor[u]] = v
-            cursor[u] += 1
-            neighbors[cursor[v]] = u
-            cursor[v] += 1
-        for v in range(n):
-            lo, hi = offsets[v], offsets[v + 1]
-            neighbors[lo:hi].sort()
 
         self._labels = labels_arr
         self._offsets = offsets
         self._neighbors = neighbors
+        self._degrees = degrees
         self._num_edges = len(edge_list)
         self._neighbor_sets: Tuple[frozenset, ...] = tuple(
             frozenset(neighbors[offsets[v]:offsets[v + 1]].tolist())
             for v in range(n)
         )
 
-        label_index: Dict[int, List[int]] = {}
-        for v, label in enumerate(labels_arr.tolist()):
-            label_index.setdefault(label, []).append(v)
-        self._label_index: Dict[int, np.ndarray] = {
-            label: np.asarray(vs, dtype=np.int64)
-            for label, vs in label_index.items()
-        }
+        # Label index, also loop-free: a stable argsort groups vertices by
+        # label while keeping ids ascending inside each group.
+        self._label_index: Dict[int, np.ndarray] = {}
+        if n:
+            by_label = np.argsort(labels_arr, kind="stable")
+            uniq, starts = np.unique(labels_arr[by_label], return_index=True)
+            bounds = np.append(starts, n)
+            for i, label in enumerate(uniq.tolist()):
+                self._label_index[int(label)] = by_label[
+                    bounds[i]:bounds[i + 1]
+                ]
         self._nlf_cache: List[Dict[int, int]] | None = None
         self._elf_cache: Dict[Tuple[int, int], int] | None = None
 
@@ -159,7 +163,22 @@ class Graph:
 
     def degree(self, v: int) -> int:
         """Degree ``d(v)`` of vertex ``v``."""
-        return int(self._offsets[v + 1] - self._offsets[v])
+        return int(self._degrees[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only degree array; ``degrees[v]`` is ``d(v)``."""
+        return self._degrees
+
+    @property
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw ``(offsets, neighbors)`` CSR arrays (do not mutate).
+
+        ``neighbors[offsets[v]:offsets[v + 1]]`` is the sorted neighbor
+        slice of ``v``; vectorized consumers (the kernel backends and the
+        filtering refinement passes) gather directly from these arrays.
+        """
+        return self._offsets, self._neighbors
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor array ``N(v)`` (a view into the CSR, do not mutate)."""
@@ -256,7 +275,7 @@ class Graph:
         """Largest vertex degree (0 for the empty graph)."""
         if self.num_vertices == 0:
             return 0
-        return int(np.max(self._offsets[1:] - self._offsets[:-1]))
+        return int(self._degrees.max())
 
     # ------------------------------------------------------------------
     # Derived graphs

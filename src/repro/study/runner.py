@@ -176,10 +176,13 @@ def run_algorithm_on_set(
     query_set_label: str = "?",
     match_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
+    kernel: Optional[str] = None,
 ) -> RunSummary:
     """Run one algorithm over every query of a set, collecting Section 4
     metrics. ``algorithm`` may be any preset name, an
     :class:`AlgorithmSpec`, or ``"GLW"`` for the Glasgow solver.
+    ``kernel`` pins the intersection backend for every query (default:
+    ``REPRO_KERNEL`` / auto heuristic).
     """
     if match_limit is None:
         match_limit = default_match_limit()
@@ -210,6 +213,7 @@ def run_algorithm_on_set(
                 time_limit=time_limit,
                 store_limit=0,
                 validate=False,
+                kernel=kernel,
             )
         summary.records.append(
             QueryRecord(

@@ -9,6 +9,16 @@ from repro.utils.intersection import (
     intersect_merge,
     multi_intersect,
 )
+from repro.utils.kernels import (
+    BitsetKernel,
+    KernelBackend,
+    NumpyKernel,
+    QFilterKernel,
+    ScalarKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
 from repro.utils.timer import Deadline, Timer
 
 __all__ = [
@@ -19,6 +29,14 @@ __all__ = [
     "intersect_hybrid",
     "intersect_merge",
     "multi_intersect",
+    "BitsetKernel",
+    "KernelBackend",
+    "NumpyKernel",
+    "QFilterKernel",
+    "ScalarKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "Deadline",
     "Timer",
 ]

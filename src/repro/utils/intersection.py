@@ -104,7 +104,7 @@ def intersect_hybrid(a: Sequence[int], b: Sequence[int]) -> List[int]:
     >>> intersect_hybrid([2, 4, 6], [1, 2, 3, 4])
     [2, 4]
     """
-    if not a or not b:
+    if len(a) == 0 or len(b) == 0:
         return []
     small, large = (a, b) if len(a) <= len(b) else (b, a)
     if len(large) > GALLOP_RATIO * len(small):
@@ -166,7 +166,9 @@ class BitmapSetIndex:
         """Pack a set of ints into a bitmap (uncached)."""
         bits = 0
         for v in values:
-            bits |= 1 << v
+            # int() guards against numpy scalars: np.int64 << would
+            # overflow past bit 62, Python ints are arbitrary precision.
+            bits |= 1 << int(v)
         return bits
 
     def encode_cached(self, values: Sequence[int]) -> int:
@@ -250,6 +252,7 @@ class QFilterIndex:
         bases: List[int] = []
         states: List[int] = []
         for v in values:
+            v = int(v)  # numpy scalars would overflow the state shifts
             base = v >> shift
             if bases and bases[-1] == base:
                 states[-1] |= 1 << (v & mask)

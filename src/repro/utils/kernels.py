@@ -1,0 +1,360 @@
+"""Vectorized set-intersection kernel backends and their registry.
+
+Section 3.3.2 / Figure 10 of the paper show that set-intersection kernels
+dominate enumeration time once Algorithm 5 is in place. The scalar kernels
+in :mod:`repro.utils.intersection` stay faithful to the paper's analysis
+(merge vs galloping vs QFilter trade-offs), but they pay CPython's
+per-element interpretation cost on every probe. This module keeps the
+candidate data in numpy end-to-end instead:
+
+* :class:`ScalarKernel` — the paper's hybrid merge/galloping kernel,
+  wrapped in the backend interface (the reference semantics);
+* :class:`NumpyKernel` — ``np.intersect1d`` on contiguous sorted arrays
+  when cardinalities are similar, a ``np.searchsorted``-based vectorized
+  galloping pass when they are skewed;
+* :class:`BitsetKernel` — packed-``uint64`` bitmaps over the data-vertex
+  universe; intersection is a word-wise ``&``, decoding is one
+  ``np.unpackbits`` pass.  Wins when candidate sets are dense, pays the
+  encode/decode overhead when they are sparse — the same trade-off the
+  paper reports for QFilter;
+* :class:`QFilterKernel` — the base-and-state model from
+  :mod:`repro.utils.intersection`, registered so the property suite can
+  cross-check every backend against the merge reference.
+
+Backends are resolved by name through :func:`get_kernel`; ``"auto"``
+(the default, also the ``REPRO_KERNEL`` environment fallback) picks the
+bitset kernel when the candidate sets are dense relative to the data
+graph and the numpy hybrid otherwise.
+
+All kernels expect **sorted, duplicate-free arrays (or lists) of
+non-negative ints** and return sorted results; numpy-backed kernels
+return ``np.ndarray`` views/arrays of dtype ``int64``.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.intersection import (
+    GALLOP_RATIO,
+    QFilterIndex,
+    intersect_hybrid,
+    multi_intersect,
+)
+
+__all__ = [
+    "KernelBackend",
+    "ScalarKernel",
+    "NumpyKernel",
+    "BitsetKernel",
+    "QFilterKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "kernel_name",
+    "AUTO_DENSITY_THRESHOLD",
+]
+
+#: Average candidate density (``avg |C(u)| / |V(G)|``) above which the auto
+#: heuristic switches from the numpy hybrid to the bitset kernel. Word-wise
+#: AND touches ``|V(G)|/64`` words and decoding ``|V(G)|/8`` bytes, so the
+#: bitset only wins once the lists it replaces are a comparable fraction of
+#: the universe.
+AUTO_DENSITY_THRESHOLD = 1.0 / 16.0
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _as_i64(values: Sequence[int]) -> np.ndarray:
+    """View ``values`` as an int64 array without copying when possible."""
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.int64:
+            return values
+        return values.astype(np.int64)
+    return np.asarray(values, dtype=np.int64)
+
+
+class KernelBackend(ABC):
+    """One pairwise/multiway set-intersection implementation.
+
+    The enumeration engine only needs ``multi_intersect``; ``intersect``
+    is the pairwise primitive the property suite cross-checks. Inputs are
+    sorted duplicate-free int sequences; outputs are sorted.
+    """
+
+    #: Registry name, also reported in :class:`~repro.core.result.MatchResult`.
+    name: str = "?"
+
+    @abstractmethod
+    def intersect(self, a: Sequence[int], b: Sequence[int]) -> Sequence[int]:
+        """Pairwise sorted-set intersection."""
+
+    def multi_intersect(self, lists: Sequence[Sequence[int]]) -> Sequence[int]:
+        """Intersect several sorted sets, smallest-first.
+
+        Folds pairwise, and short-circuits as soon as an intermediate
+        result is empty — the remaining kernel calls are skipped.
+        """
+        if not lists:
+            raise ValueError("multi_intersect requires at least one list")
+        ordered = sorted(lists, key=len)
+        result: Sequence[int] = ordered[0]
+        for other in ordered[1:]:
+            if len(result) == 0:
+                break
+            result = self.intersect(result, other)
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ScalarKernel(KernelBackend):
+    """The paper's scalar hybrid kernel behind the backend interface."""
+
+    name = "scalar"
+
+    def intersect(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return intersect_hybrid(a, b)
+
+    def multi_intersect(self, lists: Sequence[Sequence[int]]) -> List[int]:
+        return multi_intersect(lists, kernel=intersect_hybrid)
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorized merge/galloping hybrid over contiguous sorted arrays.
+
+    Similar cardinalities use ``np.intersect1d(assume_unique=True)`` (a
+    vectorized sort-merge); skewed pairs probe the smaller array into the
+    larger with one batched ``np.searchsorted`` — the galloping regime,
+    executed as a single vectorized binary-search pass.
+
+    >>> NumpyKernel().intersect([2, 4, 6], [1, 2, 3, 4]).tolist()
+    [2, 4]
+    """
+
+    name = "numpy"
+
+    def intersect(self, a: Sequence[int], b: Sequence[int]) -> np.ndarray:
+        a = _as_i64(a)
+        b = _as_i64(b)
+        if a.size == 0 or b.size == 0:
+            return _EMPTY_I64
+        small, large = (a, b) if a.size <= b.size else (b, a)
+        if large.size > GALLOP_RATIO * small.size:
+            return self._gallop(small, large)
+        return np.intersect1d(small, large, assume_unique=True)
+
+    @staticmethod
+    def _gallop(small: np.ndarray, large: np.ndarray) -> np.ndarray:
+        """Batched binary search of ``small`` into ``large``."""
+        pos = np.searchsorted(large, small)
+        in_range = pos < large.size
+        hit = np.zeros(small.size, dtype=bool)
+        hit[in_range] = large[pos[in_range]] == small[in_range]
+        return small[hit]
+
+    def multi_intersect(self, lists: Sequence[Sequence[int]]) -> np.ndarray:
+        if not lists:
+            raise ValueError("multi_intersect requires at least one list")
+        ordered = sorted((_as_i64(lst) for lst in lists), key=lambda arr: arr.size)
+        result = ordered[0]
+        for other in ordered[1:]:
+            if result.size == 0:
+                break
+            result = self.intersect(result, other)
+        return result
+
+
+class BitsetKernel(KernelBackend):
+    """Packed-uint64 bitset intersection over the vertex universe.
+
+    Each input is encoded once (cached by object identity, mirroring
+    QFilter's one-time layout conversion) as a ``uint64`` word array with
+    bit ``v`` set for each member ``v``. Intersection ANDs the word arrays
+    — 64 members per instruction — and decoding is one ``np.unpackbits``
+    pass over the surviving words. Dense candidate sets amortize the
+    encode/decode overhead; sparse ones do not, which is why the auto
+    heuristic gates this backend on candidate density.
+
+    >>> BitsetKernel().multi_intersect([[1, 3, 65], [3, 65, 70], [0, 3, 65]]).tolist()
+    [3, 65]
+    """
+
+    name = "bitset"
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        # id -> (keyed object, words). The object reference keeps the id
+        # alive; CPython recycles ids of collected objects.
+        self._cache: Dict[int, Tuple[Sequence[int], np.ndarray]] = {}
+
+    @staticmethod
+    def encode(values: Sequence[int]) -> np.ndarray:
+        """Pack a sorted set into a uint64 word array (uncached)."""
+        arr = _as_i64(values)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        nwords = (int(arr[-1]) >> 6) + 1
+        words = np.zeros(nwords, dtype=np.uint64)
+        bits = np.left_shift(np.uint64(1), (arr & 63).astype(np.uint64))
+        np.bitwise_or.at(words, arr >> 6, bits)
+        return words
+
+    @staticmethod
+    def decode(words: np.ndarray) -> np.ndarray:
+        """Unpack a word array into a sorted int64 array."""
+        if words.size == 0:
+            return _EMPTY_I64
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits)[0].astype(np.int64)
+
+    def encode_cached(self, values: Sequence[int]) -> np.ndarray:
+        """Pack with memoization keyed on object identity.
+
+        Candidate adjacency arrays are immutable once built, so identity
+        caching is sound; pass long-lived arrays, not temporaries.
+        """
+        entry = self._cache.get(id(values))
+        if entry is None:
+            words = self.encode(values)
+            self._cache[id(values)] = (values, words)
+            return words
+        return entry[1]
+
+    def intersect(self, a: Sequence[int], b: Sequence[int]) -> np.ndarray:
+        wa = self.encode_cached(a)
+        wb = self.encode_cached(b)
+        n = min(wa.size, wb.size)
+        if n == 0:
+            return _EMPTY_I64
+        return self.decode(wa[:n] & wb[:n])
+
+    def multi_intersect(self, lists: Sequence[Sequence[int]]) -> np.ndarray:
+        """Fold ANDs in the packed domain; decode once at the end.
+
+        Short-circuits (skipping the remaining word ANDs) as soon as the
+        accumulator has no bits set.
+        """
+        if not lists:
+            raise ValueError("multi_intersect requires at least one list")
+        ordered = sorted(lists, key=len)
+        acc = self.encode_cached(ordered[0])
+        for other in ordered[1:]:
+            if acc.size == 0 or not acc.any():
+                return _EMPTY_I64
+            words = self.encode_cached(other)
+            n = min(acc.size, words.size)
+            acc = acc[:n] & words[:n]
+        return self.decode(acc)
+
+    def clear(self) -> None:
+        """Drop all cached encodings."""
+        self._cache.clear()
+
+
+class QFilterKernel(KernelBackend):
+    """The base-and-state (BSR) QFilter model behind the backend interface."""
+
+    name = "qfilter"
+
+    def __init__(self, block_bits: int = 64) -> None:
+        self._index = QFilterIndex(block_bits=block_bits)
+
+    def intersect(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return self._index.intersect(a, b)
+
+    def multi_intersect(self, lists: Sequence[Sequence[int]]) -> List[int]:
+        return self._index.multi_intersect(lists)
+
+    def clear(self) -> None:
+        self._index.clear()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Factories, not instances: caching backends (bitset, qfilter) key their
+#: encodings on object identity, so each match run gets a fresh cache.
+_REGISTRY: Dict[str, Callable[[], KernelBackend]] = {}
+
+
+def register_kernel(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (lower-cased)."""
+    _REGISTRY[name.lower()] = factory
+
+
+register_kernel("scalar", ScalarKernel)
+register_kernel("numpy", NumpyKernel)
+register_kernel("bitset", BitsetKernel)
+register_kernel("qfilter", QFilterKernel)
+
+
+def available_kernels() -> List[str]:
+    """All registered backend names, plus the ``"auto"`` selector."""
+    return sorted(_REGISTRY) + ["auto"]
+
+
+def _auto_backend(data=None, candidates=None) -> KernelBackend:
+    """The auto heuristic: bitset on dense candidate sets, numpy otherwise.
+
+    ``data`` needs ``num_vertices``; ``candidates`` needs ``average_size``
+    (duck-typed so this module stays below the graph/filtering layers).
+    """
+    if data is not None and candidates is not None:
+        universe = getattr(data, "num_vertices", 0)
+        avg = getattr(candidates, "average_size", 0.0)
+        if universe and avg / universe >= AUTO_DENSITY_THRESHOLD:
+            return BitsetKernel()
+    return NumpyKernel()
+
+
+KernelLike = Union[str, KernelBackend, None]
+
+
+def get_kernel(name: KernelLike = None, *, data=None, candidates=None) -> KernelBackend:
+    """Resolve a backend by name.
+
+    ``None`` falls back to the ``REPRO_KERNEL`` environment variable, then
+    to ``"auto"``. ``"auto"`` consults the optional ``data``/``candidates``
+    context (candidate density) and returns a concrete backend. Backend
+    instances pass through unchanged. Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+
+    >>> get_kernel("scalar").name
+    'scalar'
+    >>> get_kernel("numpy").multi_intersect([[1, 2, 3], [2, 3, 4]]).tolist()
+    [2, 3]
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        name = os.environ.get("REPRO_KERNEL") or "auto"
+    key = name.strip().lower()
+    if key == "auto":
+        return _auto_backend(data=data, candidates=candidates)
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(available_kernels())
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; available: {known}"
+        ) from None
+    return factory()
+
+
+def kernel_name(kernel: object) -> Optional[str]:
+    """Best-effort display name for a kernel backend or callable."""
+    if kernel is None:
+        return None
+    name = getattr(kernel, "name", None)
+    if isinstance(name, str) and name != "?":
+        return name
+    return getattr(kernel, "__name__", type(kernel).__name__)

@@ -1,0 +1,89 @@
+"""Every kernel backend must produce identical matching results.
+
+The backend only changes *how* Algorithm 5 intersects candidate adjacency
+lists, never *what* the intersection is — so embeddings, match counts and
+solved status must be bit-identical across scalar, numpy, bitset and
+qfilter on any workload.
+"""
+
+import pytest
+
+from fixtures import PAPER_DATA, PAPER_QUERY
+
+from repro.core import match
+from repro.graph import extract_query, rmat_graph
+
+KERNELS = ["scalar", "numpy", "bitset", "qfilter"]
+
+#: Presets whose ComputeLC is Algorithm 5 (IntersectionLC) plus the
+#: adaptive DP pipeline — the paths a kernel backend actually serves.
+ALGORITHMS = ["CECI", "DP", "GQL-opt", "CFL-opt"]
+
+
+def _embeddings(query, data, algorithm, kernel):
+    result = match(
+        query, data, algorithm=algorithm, kernel=kernel, match_limit=None
+    )
+    return result, sorted(result.embeddings)
+
+
+class TestPaperFixture:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_kernels_agree(self, algorithm):
+        base_result, base = _embeddings(
+            PAPER_QUERY, PAPER_DATA, algorithm, "scalar"
+        )
+        assert base_result.num_matches == 2  # the paper's two embeddings
+        for name in KERNELS[1:]:
+            result, got = _embeddings(PAPER_QUERY, PAPER_DATA, algorithm, name)
+            assert got == base, f"{name} differs from scalar on {algorithm}"
+            assert result.num_matches == base_result.num_matches
+            assert result.solved == base_result.solved
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernel_recorded_on_result(self, name):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="CECI", kernel=name)
+        assert result.kernel == name
+
+    def test_auto_resolves_to_concrete_backend(self):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="CECI", kernel="auto")
+        assert result.kernel in KERNELS
+
+    def test_default_resolves_backend(self):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="CECI")
+        assert result.kernel in KERNELS
+
+    def test_non_intersection_algorithm_records_none(self):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="QSI", kernel="numpy")
+        assert result.kernel is None
+
+    def test_embeddings_are_plain_ints(self):
+        result = match(PAPER_QUERY, PAPER_DATA, algorithm="CECI", kernel="numpy")
+        for emb in result.embeddings:
+            assert all(type(v) is int for v in emb)
+
+
+class TestGeneratedWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        data = rmat_graph(300, 6.0, 4, seed=3)
+        queries = [
+            extract_query(data, 5, seed=seed) for seed in (1, 2, 3)
+        ]
+        return data, queries
+
+    @pytest.mark.parametrize("algorithm", ["CECI", "DP"])
+    def test_kernels_agree(self, workload, algorithm):
+        data, queries = workload
+        for query in queries:
+            _, base = _embeddings(query, data, algorithm, "scalar")
+            for name in KERNELS[1:]:
+                _, got = _embeddings(query, data, algorithm, name)
+                assert got == base, f"{name} differs from scalar"
+
+    def test_recommended_parity(self, workload):
+        data, queries = workload
+        for query in queries:
+            _, base = _embeddings(query, data, "recommended", "scalar")
+            _, got = _embeddings(query, data, "recommended", "numpy")
+            assert got == base

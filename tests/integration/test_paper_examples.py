@@ -48,7 +48,7 @@ class TestExample32:
         )
         # "Given v4 ∈ C(u1), CFL can directly retrieve that
         #  A^{u1}_{u3}(v4) = {v10, v12}."
-        assert aux.neighbors(1, 3, 4) == [10, 12]
+        assert aux.neighbors(1, 3, 4).tolist() == [10, 12]
 
 
 class TestExample33:

@@ -1,5 +1,6 @@
 """Property tests: all intersection kernels compute set intersection."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +13,11 @@ from repro.utils.intersection import (
     intersect_merge,
     multi_intersect,
 )
+from repro.utils.kernels import available_kernels, get_kernel
+
+#: Every registered backend (scalar, numpy, bitset, qfilter, plus any
+#: session-registered extras) — each must agree with the merge reference.
+BACKENDS = [name for name in available_kernels() if name != "auto"]
 
 
 @given(sorted_int_lists(), sorted_int_lists())
@@ -62,3 +68,38 @@ def test_intersection_commutative(a, b):
 def test_bitmap_roundtrip(a):
     idx = BitmapSetIndex()
     assert idx.decode(idx.encode(a)) == a
+
+
+# ----------------------------------------------------------------------
+# Kernel backends: every registered backend agrees with intersect_merge
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+@given(a=sorted_int_lists(), b=sorted_int_lists())
+def test_backend_pairwise_agrees_with_merge(name, a, b):
+    kernel = get_kernel(name)
+    got = [int(v) for v in kernel.intersect(a, b)]
+    assert got == intersect_merge(a, b)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+@given(
+    lists=st.lists(
+        sorted_int_lists(max_value=60, max_size=20), min_size=1, max_size=5
+    )
+)
+def test_backend_multiway_agrees_with_merge(name, lists):
+    kernel = get_kernel(name)
+    expected = list(lists[0])
+    for other in lists[1:]:
+        expected = intersect_merge(expected, other)
+    assert [int(v) for v in kernel.multi_intersect(lists)] == expected
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+@given(a=sorted_int_lists())
+@settings(max_examples=25)
+def test_backend_idempotent(name, a):
+    kernel = get_kernel(name)
+    assert [int(v) for v in kernel.intersect(a, a)] == a

@@ -52,7 +52,7 @@ class TestLookups:
         # A^{u1}_{u3}(v4) = {v10, v12} (end of Example 3.2).
         cand = CFLFilter().run(PAPER_QUERY, PAPER_DATA)
         aux = AuxiliaryStructure.build(PAPER_QUERY, PAPER_DATA, cand, scope="all")
-        assert aux.neighbors(1, 3, 4) == [10, 12]
+        assert aux.neighbors(1, 3, 4).tolist() == [10, 12]
 
     def test_definition(self, refined):
         # A_{u'}^{u}(v) = N(v) ∩ C(u') for every materialized pair.
@@ -63,11 +63,11 @@ class TestLookups:
                     set(PAPER_DATA.neighbors(v).tolist())
                     & set(refined[u_to])
                 )
-                assert aux.neighbors(u_from, u_to, v) == expected
+                assert aux.neighbors(u_from, u_to, v).tolist() == expected
 
     def test_unknown_candidate_returns_empty(self, refined):
         aux = AuxiliaryStructure.build(PAPER_QUERY, PAPER_DATA, refined, scope="all")
-        assert aux.neighbors(0, 1, 999) == []
+        assert aux.neighbors(0, 1, 999).tolist() == []
 
     def test_unmaterialized_pair_raises(self, refined):
         aux = AuxiliaryStructure.build(PAPER_QUERY, PAPER_DATA, refined, scope="all")
@@ -78,7 +78,7 @@ class TestLookups:
         aux = AuxiliaryStructure.build(PAPER_QUERY, PAPER_DATA, refined, scope="all")
         for pair in aux.pairs():
             for v in refined[pair[0]]:
-                lst = aux.neighbors(pair[0], pair[1], v)
+                lst = aux.neighbors(pair[0], pair[1], v).tolist()
                 assert lst == sorted(lst)
 
 

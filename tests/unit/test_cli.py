@@ -35,6 +35,23 @@ class TestMatchCommand:
         assert code == 0
         assert "GLW" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("kernel", ["scalar", "numpy", "bitset"])
+    def test_kernel_flag(self, graph_files, capsys, kernel):
+        query_path, data_path = graph_files
+        code = main(
+            ["match", "-q", query_path, "-d", data_path, "-a", "CECI",
+             "--kernel", kernel]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"kernel        : {kernel}" in out
+
+    def test_kernel_flag_rejects_unknown(self, graph_files, capsys):
+        query_path, data_path = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", "-q", query_path, "-d", data_path,
+                  "--kernel", "simd512"])
+
     def test_counts_agree(self, graph_files, capsys):
         query_path, data_path = graph_files
         main(["match", "-q", query_path, "-d", data_path, "-a", "GQL"])

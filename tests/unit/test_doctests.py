@@ -16,6 +16,7 @@ import repro.graph.graph
 import repro.graph.io
 import repro.study.reporting
 import repro.utils.intersection
+import repro.utils.kernels
 import repro.utils.timer
 import repro.applications.containment
 
@@ -23,6 +24,7 @@ MODULES = [
     repro.graph.graph,
     repro.graph.io,
     repro.utils.intersection,
+    repro.utils.kernels,
     repro.utils.timer,
     repro.filtering.graphql,
     repro.core.api,

@@ -1,0 +1,232 @@
+"""Unit tests for the kernel backend registry (repro.utils.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.intersection import intersect_merge, multi_intersect
+from repro.utils.kernels import (
+    AUTO_DENSITY_THRESHOLD,
+    BitsetKernel,
+    KernelBackend,
+    NumpyKernel,
+    QFilterKernel,
+    ScalarKernel,
+    _REGISTRY,
+    available_kernels,
+    get_kernel,
+    kernel_name,
+    register_kernel,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_listed(self):
+        names = available_kernels()
+        assert {"scalar", "numpy", "bitset", "qfilter", "auto"} <= set(names)
+        assert names == sorted(set(names) - {"auto"}) + ["auto"]
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("scalar", ScalarKernel),
+            ("numpy", NumpyKernel),
+            ("bitset", BitsetKernel),
+            ("qfilter", QFilterKernel),
+        ],
+    )
+    def test_get_by_name(self, name, cls):
+        kernel = get_kernel(name)
+        assert isinstance(kernel, cls)
+        assert kernel.name == name
+
+    def test_name_case_insensitive(self):
+        assert isinstance(get_kernel("NumPy"), NumpyKernel)
+        assert isinstance(get_kernel("  BITSET "), BitsetKernel)
+
+    def test_fresh_instance_per_call(self):
+        # Caching backends key encodings on object identity; a shared
+        # singleton would grow its cache without bound across match runs.
+        assert get_kernel("bitset") is not get_kernel("bitset")
+
+    def test_backend_instance_passes_through(self):
+        kernel = NumpyKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            get_kernel("simd512")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        assert isinstance(get_kernel(), ScalarKernel)
+
+    def test_env_var_unset_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert isinstance(get_kernel(), NumpyKernel)
+
+    def test_register_custom_backend(self):
+        class EchoKernel(KernelBackend):
+            name = "echo-test"
+
+            def intersect(self, a, b):
+                return intersect_merge(a, b)
+
+        register_kernel("echo-test", EchoKernel)
+        try:
+            assert "echo-test" in available_kernels()
+            assert isinstance(get_kernel("echo-test"), EchoKernel)
+        finally:
+            del _REGISTRY["echo-test"]
+
+
+class TestAutoHeuristic:
+    class _Data:
+        def __init__(self, n):
+            self.num_vertices = n
+
+    class _Cands:
+        def __init__(self, avg):
+            self.average_size = avg
+
+    def test_dense_candidates_pick_bitset(self):
+        data = self._Data(1000)
+        cands = self._Cands(1000 * AUTO_DENSITY_THRESHOLD * 2)
+        assert isinstance(
+            get_kernel("auto", data=data, candidates=cands), BitsetKernel
+        )
+
+    def test_sparse_candidates_pick_numpy(self):
+        data = self._Data(1000)
+        cands = self._Cands(1000 * AUTO_DENSITY_THRESHOLD / 2)
+        assert isinstance(
+            get_kernel("auto", data=data, candidates=cands), NumpyKernel
+        )
+
+    def test_no_context_picks_numpy(self):
+        assert isinstance(get_kernel("auto"), NumpyKernel)
+
+
+class TestBackendSemantics:
+    @pytest.mark.parametrize("name", ["scalar", "numpy", "bitset", "qfilter"])
+    def test_pairwise(self, name):
+        kernel = get_kernel(name)
+        got = kernel.intersect([1, 3, 5, 9], [3, 4, 5, 6])
+        assert [int(v) for v in got] == [3, 5]
+
+    @pytest.mark.parametrize("name", ["scalar", "numpy", "bitset", "qfilter"])
+    def test_multiway(self, name):
+        kernel = get_kernel(name)
+        got = kernel.multi_intersect([[1, 2, 3, 4], [2, 4, 6], [0, 2, 4, 8]])
+        assert [int(v) for v in got] == [2, 4]
+
+    @pytest.mark.parametrize("name", ["scalar", "numpy", "bitset", "qfilter"])
+    def test_empty_input(self, name):
+        kernel = get_kernel(name)
+        assert list(kernel.intersect([], [1, 2, 3])) == []
+        assert list(kernel.intersect([1, 2, 3], [])) == []
+
+    @pytest.mark.parametrize("name", ["scalar", "numpy", "bitset", "qfilter"])
+    def test_multiway_rejects_no_lists(self, name):
+        with pytest.raises(ValueError):
+            get_kernel(name).multi_intersect([])
+
+    def test_numpy_accepts_arrays_and_lists(self):
+        kernel = NumpyKernel()
+        a = np.array([2, 4, 6, 8], dtype=np.int64)
+        assert kernel.intersect(a, [4, 8, 12]).tolist() == [4, 8]
+
+    def test_numpy_gallop_path(self):
+        # Size ratio beyond GALLOP_RATIO exercises the searchsorted branch.
+        small = np.array([5, 500, 999], dtype=np.int64)
+        large = np.arange(0, 1000, 5, dtype=np.int64)
+        assert NumpyKernel().intersect(small, large).tolist() == [5, 500]
+
+    def test_kernel_name_helper(self):
+        assert kernel_name(None) is None
+        assert kernel_name(NumpyKernel()) == "numpy"
+        assert kernel_name(intersect_merge) == "intersect_merge"
+
+
+class TestBitsetEncoding:
+    def test_roundtrip(self):
+        values = [0, 1, 63, 64, 65, 1000]
+        words = BitsetKernel.encode(values)
+        assert BitsetKernel.decode(words).tolist() == values
+
+    def test_empty_roundtrip(self):
+        assert BitsetKernel.decode(BitsetKernel.encode([])).tolist() == []
+
+    def test_word_count_truncation(self):
+        # Different universes: intersect must align on the shorter word run.
+        kernel = BitsetKernel()
+        assert kernel.intersect([3, 70], [3, 4, 5000]).tolist() == [3]
+
+    def test_encode_cached_by_identity(self):
+        kernel = BitsetKernel()
+        values = [1, 2, 3]
+        first = kernel.encode_cached(values)
+        assert kernel.encode_cached(values) is first
+        kernel.clear()
+        assert kernel.encode_cached(values) is not first
+
+
+class TestMultiIntersectShortCircuit:
+    def test_scalar_function_stops_on_empty_intermediate(self):
+        # Satellite pin: once the running intersection is empty the
+        # remaining pairwise kernel calls are skipped entirely.
+        calls = []
+
+        def counting(a, b):
+            calls.append((list(a), list(b)))
+            return intersect_merge(a, b)
+
+        lists = [[1, 2], [3, 4], [5, 6], [7, 8]]
+        assert multi_intersect(lists, kernel=counting) == []
+        assert len(calls) == 1
+
+    def test_backend_default_stops_on_empty_intermediate(self):
+        class Counting(ScalarKernel):
+            def __init__(self):
+                self.calls = 0
+
+            def intersect(self, a, b):
+                self.calls += 1
+                return intersect_merge(a, b)
+
+            # Use the KernelBackend fold, not ScalarKernel's delegation.
+            multi_intersect = KernelBackend.multi_intersect
+
+        kernel = Counting()
+        assert kernel.multi_intersect([[1], [2], [3], [4]]) == []
+        assert kernel.calls == 1
+
+    def test_numpy_backend_stops_on_empty_intermediate(self):
+        class Counting(NumpyKernel):
+            def __init__(self):
+                self.calls = 0
+
+            def intersect(self, a, b):
+                self.calls += 1
+                return NumpyKernel.intersect(self, a, b)
+
+        kernel = Counting()
+        result = kernel.multi_intersect([[1], [2], [3], [4]])
+        assert list(result) == []
+        assert kernel.calls == 1
+
+    def test_bitset_backend_skips_encodes_after_empty(self):
+        class Counting(BitsetKernel):
+            def __init__(self):
+                super().__init__()
+                self.encodes = 0
+
+            def encode_cached(self, values):
+                self.encodes += 1
+                return BitsetKernel.encode_cached(self, values)
+
+        kernel = Counting()
+        result = kernel.multi_intersect([[1], [2], [3], [4]])
+        assert list(result) == []
+        # First two lists encode; their AND is empty, so the rest skip.
+        assert kernel.encodes == 2
