@@ -23,6 +23,7 @@ import numpy as np
 if __name__ == "__main__":  # standalone run: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs.schema import BENCH_KERNELS_SCHEMA_VERSION, validate_bench_kernels
 from repro.utils.intersection import (
     BitmapSetIndex,
     QFilterIndex,
@@ -168,30 +169,40 @@ def _time_per_call(fn, *args, repeat: int = 5, number: int = 10) -> float:
     return best
 
 
-def run_backend_shootout() -> dict:
-    """Time each registered backend's hybrid intersect on the 10k arrays."""
+def run_backend_shootout(
+    universe: int = SHOOTOUT_UNIVERSE, size: int = SHOOTOUT_SIZE
+) -> dict:
+    """Time each registered backend's hybrid intersect on the 10k arrays.
+
+    The payload is stamped with ``schema_version`` and the resolved
+    backend name per registry entry (``kernels``), so downstream BENCH
+    deltas are attributable to a concrete backend; see
+    :func:`repro.obs.schema.validate_bench_kernels` for the contract.
+    """
     rng = np.random.default_rng(7)
-    a = np.sort(
-        rng.choice(SHOOTOUT_UNIVERSE, size=SHOOTOUT_SIZE, replace=False)
-    ).astype(np.int64)
-    b = np.sort(
-        rng.choice(SHOOTOUT_UNIVERSE, size=SHOOTOUT_SIZE, replace=False)
-    ).astype(np.int64)
+    a = np.sort(rng.choice(universe, size=size, replace=False)).astype(np.int64)
+    b = np.sort(rng.choice(universe, size=size, replace=False)).astype(np.int64)
 
     timings = {}
+    resolved = {}
     for name in ("scalar", "numpy", "bitset"):
         kernel = get_kernel(name)
+        resolved[name] = kernel.name
         kernel.intersect(a, b)  # warm caches / JIT-free sanity check
         timings[name] = _time_per_call(kernel.intersect, a, b)
 
-    return {
+    payload = {
+        "schema_version": BENCH_KERNELS_SCHEMA_VERSION,
         "benchmark": "kernel-backend-shootout",
-        "universe": SHOOTOUT_UNIVERSE,
-        "array_size": SHOOTOUT_SIZE,
+        "universe": universe,
+        "array_size": size,
+        "kernels": resolved,
         "seconds_per_call": timings,
         "speedup_numpy_vs_scalar": timings["scalar"] / timings["numpy"],
         "speedup_bitset_vs_scalar": timings["scalar"] / timings["bitset"],
     }
+    validate_bench_kernels(payload)
+    return payload
 
 
 def main() -> int:

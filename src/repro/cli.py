@@ -13,6 +13,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -25,6 +26,7 @@ from repro.graph import (
     rmat_graph,
     save_graph,
 )
+from repro.obs import Tracer, tracing
 from repro.study import DATASETS, format_table, load_dataset
 from repro.utils.kernels import available_kernels
 
@@ -54,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_match.add_argument(
         "--show", type=int, default=3, help="embeddings to print"
+    )
+    p_match.add_argument(
+        "--trace", metavar="OUT.JSONL", default=None,
+        help="write a span trace of the run as JSONL "
+        "(schema: repro.trace/v1; see docs/architecture.md)",
+    )
+    p_match.add_argument(
+        "--metrics-out", metavar="OUT.JSON", default=None,
+        help="write the run's cross-layer counters as JSON",
     )
 
     p_compare = sub.add_parser(
@@ -110,18 +121,26 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_match(args: argparse.Namespace) -> int:
     query = load_graph(args.query)
     data = load_graph(args.data)
-    if args.algorithm == "GLW":
-        result = glasgow_match(
-            query, data,
-            match_limit=args.match_limit, time_limit=args.time_limit,
-        )
-    else:
-        result = match(
+    tracer = Tracer() if args.trace else None
+
+    def run():
+        if args.algorithm == "GLW":
+            return glasgow_match(
+                query, data,
+                match_limit=args.match_limit, time_limit=args.time_limit,
+            )
+        return match(
             query, data,
             algorithm=args.algorithm,
             match_limit=args.match_limit, time_limit=args.time_limit,
             kernel=args.kernel,
         )
+
+    if tracer is not None:
+        with tracing(tracer):
+            result = run()
+    else:
+        result = run()
     status = "solved" if result.solved else "UNSOLVED (time limit)"
     print(f"algorithm     : {result.algorithm}")
     if getattr(result, "kernel", None) is not None:
@@ -132,6 +151,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"enumeration   : {result.enumeration_ms:.3f} ms")
     for mapping in result.mappings[: args.show]:
         print(f"  match: {mapping}")
+    if tracer is not None:
+        count = tracer.write_jsonl(args.trace)
+        print(f"trace         : {count} spans -> {args.trace}")
+    if args.metrics_out:
+        metrics = getattr(result, "metrics", None)
+        payload = metrics.to_dict() if metrics is not None else {}
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"metrics       : {args.metrics_out}")
     return 0
 
 

@@ -20,6 +20,7 @@ from repro.errors import InvalidQueryError
 from repro.filtering.auxiliary import AuxiliaryStructure
 from repro.graph.graph import Graph
 from repro.graph.ops import connected
+from repro.obs import Metrics, collecting, span
 from repro.ordering.dpiso import DPisoOrdering
 from repro.utils.kernels import KernelBackend, get_kernel
 from repro.utils.timer import Timer
@@ -84,62 +85,85 @@ def match(
         _validate_query(query)
 
     spec = resolve(algorithm, query, data)
+    metrics = Metrics()
 
-    with Timer() as prep_timer:
-        candidates = spec.filter.run(query, data) if spec.filter else None
+    # The whole pipeline runs with `metrics` installed as the ambient
+    # sink, so filters and orderings report counters without threading a
+    # parameter through every signature; `span()` is a no-op unless the
+    # caller installed a tracer (see repro.obs).
+    with collecting(metrics), span("match", algorithm=spec.name):
+        with Timer() as prep_timer:
+            # Filtering phase: candidate generation plus the auxiliary
+            # structure built from it (the paper accounts both to the
+            # filtering component of preprocessing).
+            with span(
+                "filter", filter=spec.filter.name if spec.filter else None
+            ), Timer() as filter_timer:
+                candidates = spec.filter.run(query, data) if spec.filter else None
 
-        tree = None
-        if spec.aux_scope == "tree":
-            assert spec.tree_source is not None, "tree scope requires tree_source"
-            tree = spec.tree_source(query, data)
+                tree = None
+                if spec.aux_scope == "tree":
+                    assert spec.tree_source is not None, "tree scope requires tree_source"
+                    tree = spec.tree_source(query, data)
 
-        auxiliary = None
-        if spec.aux_scope != "none":
-            assert candidates is not None, "auxiliary structure needs candidates"
-            auxiliary = AuxiliaryStructure.build(
-                query, data, candidates, scope=spec.aux_scope, tree=tree
+                auxiliary = None
+                if spec.aux_scope != "none":
+                    assert candidates is not None, "auxiliary structure needs candidates"
+                    with span("filter.auxiliary", scope=spec.aux_scope):
+                        auxiliary = AuxiliaryStructure.build(
+                            query, data, candidates, scope=spec.aux_scope, tree=tree
+                        )
+            metrics.record_phase("filter", filter_timer.elapsed)
+
+            with span("order", ordering=spec.ordering.name), Timer() as order_timer:
+                adaptive_state = None
+                order = None
+                if spec.adaptive:
+                    assert candidates is not None, "adaptive mode needs candidates"
+                    assert isinstance(spec.ordering, DPisoOrdering)
+                    adaptive_state = spec.ordering.adaptive_state(
+                        query, data, candidates
+                    )
+                else:
+                    order = spec.ordering.order(query, data, candidates)
+            metrics.record_phase("order", order_timer.elapsed)
+
+            # Resolve the intersection backend for the Algorithm 5 hot path.
+            # A spec constructed with an explicit kernel keeps it; the stock
+            # default is swapped for the session backend (env var / auto
+            # heuristic / the explicit `kernel` argument).
+            lc = spec.lc
+            kernel_used = None
+            if isinstance(lc, IntersectionLC) and (
+                kernel is not None or lc.uses_default_kernel
+            ):
+                with span("kernel.resolve"):
+                    backend = get_kernel(kernel, data=data, candidates=candidates)
+                lc = IntersectionLC(kernel=backend)
+                kernel_used = backend.name
+
+        engine = BacktrackingEngine(
+            lc,
+            use_failing_sets=spec.failing_sets,
+            adaptive=adaptive_state,
+        )
+        with span("enumerate", kernel=kernel_used) as enum_span:
+            outcome = engine.run(
+                query,
+                data,
+                candidates,
+                auxiliary,
+                order,
+                tree_parent=tree.parent if tree is not None else None,
+                match_limit=match_limit,
+                time_limit=time_limit,
+                store_limit=store_limit,
             )
-
-        adaptive_state = None
-        order = None
-        if spec.adaptive:
-            assert candidates is not None, "adaptive mode needs candidates"
-            assert isinstance(spec.ordering, DPisoOrdering)
-            adaptive_state = spec.ordering.adaptive_state(
-                query, data, candidates
+            enum_span.annotate(
+                num_matches=outcome.num_matches, solved=outcome.solved
             )
-        else:
-            order = spec.ordering.order(query, data, candidates)
-
-        # Resolve the intersection backend for the Algorithm 5 hot path.
-        # A spec constructed with an explicit kernel keeps it; the stock
-        # default is swapped for the session backend (env var / auto
-        # heuristic / the explicit `kernel` argument).
-        lc = spec.lc
-        kernel_used = None
-        if isinstance(lc, IntersectionLC) and (
-            kernel is not None or lc.uses_default_kernel
-        ):
-            backend = get_kernel(kernel, data=data, candidates=candidates)
-            lc = IntersectionLC(kernel=backend)
-            kernel_used = backend.name
-
-    engine = BacktrackingEngine(
-        lc,
-        use_failing_sets=spec.failing_sets,
-        adaptive=adaptive_state,
-    )
-    outcome = engine.run(
-        query,
-        data,
-        candidates,
-        auxiliary,
-        order,
-        tree_parent=tree.parent if tree is not None else None,
-        match_limit=match_limit,
-        time_limit=time_limit,
-        store_limit=store_limit,
-    )
+        metrics.record_phase("enumerate", outcome.elapsed)
+        metrics.record_enumeration(outcome.stats)
 
     memory = 0
     candidate_average = None
@@ -161,6 +185,7 @@ def match(
         candidate_average=candidate_average,
         memory_bytes=memory,
         stats=outcome.stats,
+        metrics=metrics,
     )
 
 

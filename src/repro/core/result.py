@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.enumeration.stats import EnumerationStats
+from repro.obs.metrics import Metrics
 
 __all__ = ["MatchResult"]
 
@@ -44,6 +45,11 @@ class MatchResult:
     memory_bytes: int = 0
 
     stats: EnumerationStats = field(default_factory=EnumerationStats)
+
+    #: Cross-layer counters (filter stages, ordering cost evaluations,
+    #: the enumeration counters, per-phase wall-clock) collected while
+    #: this query ran; see :mod:`repro.obs.metrics` for the glossary.
+    metrics: Metrics = field(default_factory=Metrics)
 
     @property
     def preprocessing_ms(self) -> float:

@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
+from repro.obs import record_stage, span, total_candidates
 
 __all__ = [
     "Filter",
@@ -76,10 +77,10 @@ class LDFFilter(Filter):
     name = "LDF"
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
-        return CandidateSets(
-            query,
-            [ldf_candidates_for(query, u, data) for u in query.vertices()],
-        )
+        with span("filter.ldf"):
+            lists = [ldf_candidates_for(query, u, data) for u in query.vertices()]
+        record_stage("ldf", total_candidates(lists))
+        return CandidateSets(query, lists)
 
 
 class NLFFilter(Filter):
@@ -92,14 +93,15 @@ class NLFFilter(Filter):
     name = "NLF"
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
-        return CandidateSets(
-            query,
-            [
-                [
-                    v
-                    for v in ldf_candidates_for(query, u, data)
-                    if nlf_check(query, u, data, v)
-                ]
-                for u in query.vertices()
-            ],
-        )
+        with span("filter.ldf"):
+            ldf_lists = [
+                ldf_candidates_for(query, u, data) for u in query.vertices()
+            ]
+        record_stage("ldf", total_candidates(ldf_lists))
+        with span("filter.nlf"):
+            lists = [
+                [v for v in ldf_list if nlf_check(query, u, data, v)]
+                for u, ldf_list in enumerate(ldf_lists)
+            ]
+        record_stage("nlf", total_candidates(lists))
+        return CandidateSets(query, lists)

@@ -32,6 +32,7 @@ from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import ceci_root
 from repro.graph.graph import Graph
 from repro.graph.ops import BFSTree, bfs_tree
+from repro.obs import add_counter, record_stage, span, total_candidates
 
 __all__ = ["CECIFilter"]
 
@@ -44,8 +45,13 @@ class CECIFilter(Filter):
     def run(self, query: Graph, data: Graph) -> CandidateSets:
         tree = self.build_tree(query, data)
         scratch = np.zeros(data.num_vertices, dtype=bool)
-        lists = self._construct(query, data, tree, scratch)
-        self._refine_reverse(data, tree, lists, scratch)
+        with span("filter.construct"):
+            lists = self._construct(query, data, tree, scratch)
+        record_stage("construct", total_candidates(lists))
+        with span("filter.refine", rule="reverse_bfs"):
+            self._refine_reverse(data, tree, lists, scratch)
+        add_counter("filter.refinement_iterations")
+        record_stage("reverse_bfs", total_candidates(lists))
         return CandidateSets(query, lists)
 
     @staticmethod

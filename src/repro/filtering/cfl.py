@@ -35,6 +35,7 @@ from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import cfl_root
 from repro.graph.graph import Graph
 from repro.graph.ops import BFSTree, bfs_tree
+from repro.obs import add_counter, record_stage, span, total_candidates
 
 __all__ = ["CFLFilter"]
 
@@ -47,8 +48,13 @@ class CFLFilter(Filter):
     def run(self, query: Graph, data: Graph) -> CandidateSets:
         tree = self.build_tree(query, data)
         scratch = np.zeros(data.num_vertices, dtype=bool)
-        lists = self._generate(query, data, tree, scratch)
-        self._refine_bottom_up(query, data, tree, lists, scratch)
+        with span("filter.top_down"):
+            lists = self._generate(query, data, tree, scratch)
+        record_stage("top_down", total_candidates(lists))
+        with span("filter.refine", rule="bottom_up"):
+            self._refine_bottom_up(query, data, tree, lists, scratch)
+        add_counter("filter.refinement_iterations")
+        record_stage("bottom_up", total_candidates(lists))
         return CandidateSets(query, lists)
 
     @staticmethod

@@ -28,6 +28,7 @@ from repro.filtering.candidates import CandidateSets
 from repro.filtering.roots import dpiso_root
 from repro.graph.graph import Graph
 from repro.graph.ops import BFSTree, bfs_tree
+from repro.obs import add_counter, record_stage, span, total_candidates
 
 __all__ = ["DPisoFilter"]
 
@@ -53,38 +54,48 @@ class DPisoFilter(Filter):
         tree = self.build_tree(query, data)
         position = {v: i for i, v in enumerate(tree.order)}
 
-        lists: List[np.ndarray] = [
-            as_vertex_array(ldf_candidates_for(query, u, data))
-            for u in query.vertices()
-        ]
+        with span("filter.ldf"):
+            lists: List[np.ndarray] = [
+                as_vertex_array(ldf_candidates_for(query, u, data))
+                for u in query.vertices()
+            ]
+        record_stage("ldf", total_candidates(lists))
         scratch = np.zeros(data.num_vertices, dtype=bool)
 
         for phase in range(1, self.refinement_phases + 1):
             reverse = phase % 2 == 1
-            order = reversed(tree.order) if reverse else tree.order
             apply_nlf = phase == 1
-            for u in order:
-                if reverse:
-                    anchors = [
-                        w
-                        for w in query.neighbors(u).tolist()
-                        if position[w] > position[u]
-                    ]
-                else:
-                    anchors = [
-                        w
-                        for w in query.neighbors(u).tolist()
-                        if position[w] < position[u]
-                    ]
-                vs = lists[u]
-                if apply_nlf:
-                    vs = np.asarray(
-                        [v for v in vs.tolist() if nlf_check(query, u, data, v)],
-                        dtype=np.int64,
+            with span(
+                "filter.refine",
+                rule="rule_3_1",
+                phase=phase,
+                direction="reverse" if reverse else "forward",
+            ):
+                order = reversed(tree.order) if reverse else tree.order
+                for u in order:
+                    if reverse:
+                        anchors = [
+                            w
+                            for w in query.neighbors(u).tolist()
+                            if position[w] > position[u]
+                        ]
+                    else:
+                        anchors = [
+                            w
+                            for w in query.neighbors(u).tolist()
+                            if position[w] < position[u]
+                        ]
+                    vs = lists[u]
+                    if apply_nlf:
+                        vs = np.asarray(
+                            [v for v in vs.tolist() if nlf_check(query, u, data, v)],
+                            dtype=np.int64,
+                        )
+                    lists[u] = refine_keep(
+                        data, vs, [lists[w] for w in anchors], scratch
                     )
-                lists[u] = refine_keep(
-                    data, vs, [lists[w] for w in anchors], scratch
-                )
+            add_counter("filter.refinement_iterations")
+            record_stage(f"phase_{phase}", total_candidates(lists))
 
         return CandidateSets(query, lists)
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.filtering.base import Filter, ldf_candidates_for
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
+from repro.obs import add_counter, record_stage, span, total_candidates
 
 __all__ = ["GraphQLFilter", "profile", "is_subsequence", "has_semi_perfect_matching"]
 
@@ -129,7 +130,9 @@ class GraphQLFilter(Filter):
         self.refinement_rounds = refinement_rounds
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
-        lists = self._local_pruning(query, data)
+        with span("filter.local_pruning"):
+            lists = self._local_pruning(query, data)
+        record_stage("ldf+profile", total_candidates(lists))
         self._global_refinement(query, data, lists)
         return CandidateSets(query, lists)
 
@@ -162,20 +165,23 @@ class GraphQLFilter(Filter):
         later checks within the same sweep).
         """
         membership: List[Set[int]] = [set(lst) for lst in lists]
-        for _ in range(self.refinement_rounds):
-            changed = False
-            for u in query.vertices():
-                u_neighbors = query.neighbors(u).tolist()
-                if not u_neighbors:
-                    continue
-                kept = []
-                for v in lists[u]:
-                    if self._pseudo_iso_ok(data, u_neighbors, v, membership):
-                        kept.append(v)
-                    else:
-                        membership[u].discard(v)
-                        changed = True
-                lists[u] = kept
+        for sweep in range(self.refinement_rounds):
+            with span("filter.refine", rule="pseudo_iso", sweep=sweep):
+                changed = False
+                for u in query.vertices():
+                    u_neighbors = query.neighbors(u).tolist()
+                    if not u_neighbors:
+                        continue
+                    kept = []
+                    for v in lists[u]:
+                        if self._pseudo_iso_ok(data, u_neighbors, v, membership):
+                            kept.append(v)
+                        else:
+                            membership[u].discard(v)
+                            changed = True
+                    lists[u] = kept
+            add_counter("filter.refinement_iterations")
+            record_stage("pseudo_iso", total_candidates(lists))
             if not changed:
                 break
 

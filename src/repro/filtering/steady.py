@@ -17,6 +17,7 @@ from repro.filtering._common import has_candidate_neighbor
 from repro.filtering.base import Filter, ldf_candidates_for, nlf_check
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
+from repro.obs import add_counter, record_stage, span, total_candidates
 
 __all__ = ["SteadyFilter"]
 
@@ -34,35 +35,40 @@ class SteadyFilter(Filter):
         self.last_iterations = 0
 
     def run(self, query: Graph, data: Graph) -> CandidateSets:
-        lists = [
-            [
-                v
-                for v in ldf_candidates_for(query, u, data)
-                if nlf_check(query, u, data, v)
+        with span("filter.nlf"):
+            lists = [
+                [
+                    v
+                    for v in ldf_candidates_for(query, u, data)
+                    if nlf_check(query, u, data, v)
+                ]
+                for u in query.vertices()
             ]
-            for u in query.vertices()
-        ]
+        record_stage("ldf+nlf", total_candidates(lists))
         sets = [set(lst) for lst in lists]
         neighbor_lists = [query.neighbors(u).tolist() for u in query.vertices()]
 
         self.last_iterations = 0
-        for _ in range(self.max_iterations):
+        for sweep in range(self.max_iterations):
             self.last_iterations += 1
-            changed = False
-            for u in query.vertices():
-                anchors = neighbor_lists[u]
-                kept = [
-                    v
-                    for v in lists[u]
-                    if all(
-                        has_candidate_neighbor(data, v, lists[w], sets[w])
-                        for w in anchors
-                    )
-                ]
-                if len(kept) != len(lists[u]):
-                    lists[u] = kept
-                    sets[u] = set(kept)
-                    changed = True
+            with span("filter.refine", rule="steady", sweep=sweep):
+                changed = False
+                for u in query.vertices():
+                    anchors = neighbor_lists[u]
+                    kept = [
+                        v
+                        for v in lists[u]
+                        if all(
+                            has_candidate_neighbor(data, v, lists[w], sets[w])
+                            for w in anchors
+                        )
+                    ]
+                    if len(kept) != len(lists[u]):
+                        lists[u] = kept
+                        sets[u] = set(kept)
+                        changed = True
+            add_counter("filter.refinement_iterations")
             if not changed:
                 break
+        record_stage("steady", total_candidates(lists))
         return CandidateSets(query, lists)

@@ -1,0 +1,226 @@
+"""Cross-layer counter registry: filtering, ordering and enumeration.
+
+The paper attributes pruning power and work to individual components
+(Figures 8–11, 15); :class:`Metrics` is the container that carries those
+attributions through the pipeline. It extends the enumeration-only
+:class:`~repro.enumeration.stats.EnumerationStats` with
+
+* **filter stages** — one ``(rule, candidates)`` record per pruning rule,
+  where ``candidates`` is ``Σ_u |C(u)|`` after the rule ran. Within one
+  filter run the totals are monotone non-increasing from the first
+  recorded stage (every later rule only prunes), the invariant the
+  property suite enforces;
+* **counters** — a flat ``name -> int`` registry under dotted namespaces
+  (``filter.*``, ``order.*``, ``enumerate.*``; see the glossary in
+  ``docs/architecture.md``);
+* **phase timings** — ``phase -> seconds`` for filter/order/enumerate,
+  recorded even when a deadline kills the query.
+
+Like tracing, collection is ambient: :func:`add_counter` and
+:func:`record_stage` write to the thread's current :class:`Metrics` and
+are no-ops when none is installed, so filters and orderings stay usable
+(and unobserved) outside :func:`repro.core.api.match`.
+
+Merging (for study aggregation across queries, including parallel
+workers) sums counters and phase timings key-wise and drops the
+per-query stage list; the operation is associative and commutative, so
+worker merge order cannot change a
+:class:`~repro.study.runner.RunSummary`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.enumeration.stats import EnumerationStats
+
+__all__ = [
+    "FilterStage",
+    "Metrics",
+    "get_metrics",
+    "set_metrics",
+    "collecting",
+    "add_counter",
+    "record_stage",
+    "total_candidates",
+]
+
+
+class FilterStage:
+    """Total candidate count after one named pruning rule ran."""
+
+    __slots__ = ("rule", "candidates")
+
+    def __init__(self, rule: str, candidates: int) -> None:
+        self.rule = rule
+        self.candidates = int(candidates)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FilterStage)
+            and self.rule == other.rule
+            and self.candidates == other.candidates
+        )
+
+    def __repr__(self) -> str:
+        return f"FilterStage({self.rule!r}, {self.candidates})"
+
+
+class Metrics:
+    """The per-query (or merged per-set) counter registry."""
+
+    __slots__ = ("counters", "phase_seconds", "filter_stages")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        phase_seconds: Optional[Dict[str, float]] = None,
+        filter_stages: Tuple[FilterStage, ...] = (),
+    ) -> None:
+        self.counters: Dict[str, int] = dict(counters or {})
+        self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
+        self.filter_stages: Tuple[FilterStage, ...] = tuple(filter_stages)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def record_stage(self, rule: str, candidates: int) -> None:
+        """Append one filter-stage record and refresh the derived counters.
+
+        ``filter.candidates_initial`` is pinned by the first stage,
+        ``filter.candidates_final`` tracks the latest, and
+        ``filter.pruned`` accumulates the drop between consecutive stages.
+        """
+        candidates = int(candidates)
+        if not self.filter_stages:
+            self.counters["filter.candidates_initial"] = candidates
+        else:
+            removed = self.filter_stages[-1].candidates - candidates
+            if removed > 0:
+                self.add("filter.pruned", removed)
+        self.counters["filter.candidates_final"] = candidates
+        self.filter_stages = self.filter_stages + (FilterStage(rule, candidates),)
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Record wall-clock seconds spent in one pipeline phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + float(seconds)
+
+    def record_enumeration(self, stats: EnumerationStats) -> None:
+        """Fold the engine's counters in under the ``enumerate.`` namespace."""
+        self.add("enumerate.recursion_calls", stats.recursion_calls)
+        self.add("enumerate.candidates_scanned", stats.candidates_scanned)
+        self.add("enumerate.conflicts", stats.conflicts)
+        self.add("enumerate.failing_set_prunes", stats.failing_set_prunes)
+
+    # ------------------------------------------------------------------
+    # Aggregation / serialization
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Key-wise sum of counters and timings (associative, commutative).
+
+        The per-query ``filter_stages`` list is a diagnostic of one run and
+        has no meaningful cross-query sum, so merged metrics carry none.
+        """
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        phases = dict(self.phase_seconds)
+        for name, value in other.phase_seconds.items():
+            phases[name] = phases.get(name, 0.0) + value
+        return Metrics(counters=counters, phase_seconds=phases)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (worker serialization, ``--metrics-out``)."""
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+            "filter_stages": [
+                {"rule": s.rule, "candidates": s.candidates}
+                for s in self.filter_stages
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Metrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            counters={str(k): int(v) for k, v in payload.get("counters", {}).items()},
+            phase_seconds={
+                str(k): float(v)
+                for k, v in payload.get("phase_seconds", {}).items()
+            },
+            filter_stages=tuple(
+                FilterStage(s["rule"], s["candidates"])
+                for s in payload.get("filter_stages", [])
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Metrics)
+            and self.counters == other.counters
+            and self.phase_seconds == other.phase_seconds
+            and self.filter_stages == other.filter_stages
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics(counters={len(self.counters)}, "
+            f"stages={len(self.filter_stages)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient collection (thread-local)
+# ----------------------------------------------------------------------
+
+_STATE = threading.local()
+
+
+def get_metrics() -> Optional[Metrics]:
+    """The thread's current metrics sink, or ``None`` when not collecting."""
+    return getattr(_STATE, "metrics", None)
+
+
+def set_metrics(metrics: Optional[Metrics]) -> Optional[Metrics]:
+    """Install ``metrics`` as the thread's sink; returns the previous one."""
+    previous = getattr(_STATE, "metrics", None)
+    _STATE.metrics = metrics
+    return previous
+
+
+@contextmanager
+def collecting(metrics: Metrics) -> Iterator[Metrics]:
+    """Install ``metrics`` for the duration of the block (re-entrant safe)."""
+    previous = set_metrics(metrics)
+    try:
+        yield metrics
+    finally:
+        set_metrics(previous)
+
+
+def add_counter(name: str, amount: int = 1) -> None:
+    """Increment a counter on the current sink; no-op when not collecting."""
+    metrics = getattr(_STATE, "metrics", None)
+    if metrics is not None:
+        metrics.add(name, amount)
+
+
+def record_stage(rule: str, candidates: int) -> None:
+    """Record a filter stage on the current sink; no-op when not collecting."""
+    metrics = getattr(_STATE, "metrics", None)
+    if metrics is not None:
+        metrics.record_stage(rule, candidates)
+
+
+def total_candidates(lists: List) -> int:
+    """``Σ_u |C(u)|`` over a list of per-vertex candidate containers."""
+    return sum(len(lst) for lst in lists)

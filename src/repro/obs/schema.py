@@ -1,0 +1,209 @@
+"""Schemas for the observability artifacts, with hand-rolled validators.
+
+Two file formats are stamped and validated here (no external jsonschema
+dependency):
+
+* **Trace JSONL** (``repro --trace out.jsonl`` /
+  :meth:`repro.obs.tracer.Tracer.write_jsonl`). Line 1 is a header
+  ``{"type": "meta", "schema": "repro.trace/v1", "spans": N}``; every
+  further line is a span record::
+
+      {"type": "span", "id": int, "parent": int | null, "name": str,
+       "depth": int, "start": float, "end": float, "duration": float,
+       "attrs": {...}}
+
+  Invariants checked: ids unique, parents precede children and nest
+  (``parent.start <= start`` and ``end <= parent.end`` up to clock
+  jitter), ``depth`` is parent's depth + 1, ``end >= start``.
+
+* **BENCH_kernels.json** (``benchmarks/bench_kernels.py``): the kernel
+  shoot-out payload, stamped with ``schema_version`` and the resolved
+  backend name per registry entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "BENCH_KERNELS_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "validate_trace_record",
+    "validate_trace_lines",
+    "validate_trace_file",
+    "validate_bench_kernels",
+]
+
+#: Identifier stamped into every trace header line.
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: Version stamped into BENCH_kernels.json payloads.
+BENCH_KERNELS_SCHEMA_VERSION = 2
+
+#: Span end may precede a parent's end by this much (float timer jitter).
+_NEST_SLACK = 1e-9
+
+
+class TraceSchemaError(ValueError):
+    """A trace or benchmark payload violates its schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceSchemaError(message)
+
+
+def validate_trace_record(record: Dict[str, Any]) -> None:
+    """Validate one parsed JSONL record (header or span) in isolation."""
+    _require(isinstance(record, dict), f"record is not an object: {record!r}")
+    rtype = record.get("type")
+    if rtype == "meta":
+        _require(
+            record.get("schema") == TRACE_SCHEMA,
+            f"unknown trace schema {record.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA!r})",
+        )
+        _require(
+            isinstance(record.get("spans"), int) and record["spans"] >= 0,
+            "meta record needs a non-negative integer 'spans' count",
+        )
+        return
+    _require(rtype == "span", f"unknown record type {rtype!r}")
+    _require(
+        isinstance(record.get("id"), int) and record["id"] >= 0,
+        f"span id must be a non-negative int: {record.get('id')!r}",
+    )
+    parent = record.get("parent")
+    _require(
+        parent is None or (isinstance(parent, int) and parent >= 0),
+        f"span parent must be null or a non-negative int: {parent!r}",
+    )
+    _require(
+        isinstance(record.get("name"), str) and record["name"] != "",
+        "span name must be a non-empty string",
+    )
+    _require(
+        isinstance(record.get("depth"), int) and record["depth"] >= 0,
+        "span depth must be a non-negative int",
+    )
+    for key in ("start", "end", "duration"):
+        value = record.get(key)
+        _require(
+            isinstance(value, (int, float)) and value >= 0,
+            f"span {key} must be a non-negative number: {value!r}",
+        )
+    _require(
+        record["end"] >= record["start"],
+        f"span {record['name']!r} ends before it starts",
+    )
+    _require(isinstance(record.get("attrs"), dict), "span attrs must be an object")
+
+
+def validate_trace_lines(lines: List[str]) -> Dict[str, Any]:
+    """Validate a full JSONL trace; returns a summary dict.
+
+    Checks every record plus the cross-record invariants (header first,
+    declared span count, unique ids, parent nesting and depth).
+    """
+    _require(len(lines) >= 1, "trace is empty (missing meta header)")
+    records = []
+    for i, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"line {i + 1} is not valid JSON: {exc}") from None
+    for record in records:
+        validate_trace_record(record)
+    header, spans = records[0], records[1:]
+    _require(header.get("type") == "meta", "first trace line must be the meta header")
+    _require(
+        all(r["type"] == "span" for r in spans),
+        "only the first line may be a meta record",
+    )
+    _require(
+        header["spans"] == len(spans),
+        f"header declares {header['spans']} spans, trace has {len(spans)}",
+    )
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for record in spans:
+        _require(record["id"] not in by_id, f"duplicate span id {record['id']}")
+        by_id[record["id"]] = record
+    for record in spans:
+        parent = record["parent"]
+        if parent is None:
+            _require(record["depth"] == 0, "root spans must have depth 0")
+            continue
+        _require(parent in by_id, f"span {record['id']} has unknown parent {parent}")
+        parent_record = by_id[parent]
+        _require(
+            record["depth"] == parent_record["depth"] + 1,
+            f"span {record['id']} depth {record['depth']} is not "
+            f"parent depth {parent_record['depth']} + 1",
+        )
+        _require(
+            parent_record["start"] <= record["start"] + _NEST_SLACK
+            and record["end"] <= parent_record["end"] + _NEST_SLACK,
+            f"span {record['id']} is not nested inside parent {parent}",
+        )
+    names: Dict[str, int] = {}
+    for record in spans:
+        names[record["name"]] = names.get(record["name"], 0) + 1
+    return {
+        "spans": len(spans),
+        "names": names,
+        "roots": sum(1 for r in spans if r["parent"] is None),
+    }
+
+
+def validate_trace_file(path: str) -> Dict[str, Any]:
+    """Validate a trace JSONL file on disk; returns the summary dict."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    return validate_trace_lines(lines)
+
+
+def validate_bench_kernels(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_kernels.json payload against the current schema."""
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_KERNELS_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_KERNELS_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "kernel-backend-shootout",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+    for key in ("universe", "array_size"):
+        _require(
+            isinstance(payload.get(key), int) and payload[key] > 0,
+            f"{key} must be a positive int",
+        )
+    timings = payload.get("seconds_per_call")
+    _require(
+        isinstance(timings, dict) and timings,
+        "seconds_per_call must be a non-empty object",
+    )
+    for name, seconds in timings.items():
+        _require(
+            isinstance(seconds, (int, float)) and seconds > 0,
+            f"seconds_per_call[{name!r}] must be a positive number",
+        )
+    kernels = payload.get("kernels")
+    _require(
+        isinstance(kernels, dict) and set(kernels) == set(timings),
+        "kernels must map every timed backend to its resolved name",
+    )
+    for requested, resolved in kernels.items():
+        _require(
+            isinstance(resolved, str) and resolved != "",
+            f"kernels[{requested!r}] must be a non-empty resolved name",
+        )
+    for key in ("speedup_numpy_vs_scalar", "speedup_bitset_vs_scalar"):
+        value = payload.get(key)
+        _require(
+            isinstance(value, (int, float)) and value > 0,
+            f"{key} must be a positive number",
+        )

@@ -1,0 +1,263 @@
+"""Span-based tracing for the match pipeline.
+
+The paper's methodology decomposes every algorithm into filtering,
+ordering and enumeration and attributes wall-clock to each component
+(Figures 7–11). :class:`Tracer` produces that decomposition as data: the
+pipeline wraps each phase in ``with span("filter"): ...`` blocks, nested
+spans cover refinement sweeps and kernel resolution, and the finished
+trace serializes to JSONL (see :mod:`repro.obs.schema` for the format).
+
+Tracing is *ambient*: :func:`span` consults a thread-local current
+tracer. When none is installed (the default) it returns a shared no-op
+context manager — one thread-local attribute read plus a function call,
+so instrumented code pays effectively nothing when tracing is off. The
+enumeration inner loop is deliberately *not* traced per recursion step;
+span granularity stops at phases and sweeps so the < 5 % overhead budget
+holds even with a tracer installed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.schema import TRACE_SCHEMA
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class Span:
+    """One finished span: a named, nested interval of the trace clock.
+
+    ``start``/``end`` are seconds on the tracer's monotonic clock (zero at
+    tracer construction); ``parent`` is the enclosing span's id or ``None``
+    for a root span.
+    """
+
+    __slots__ = ("span_id", "name", "parent", "depth", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        parent: Optional[int],
+        depth: int,
+        start: float,
+        end: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.parent = parent
+        self.depth = depth
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as one JSONL trace record."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent,
+            "name": self.name,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1000.0:.3f}ms, depth={self.depth})"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when no tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Discard attributes (tracing is off)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """An open span; records itself on the tracer when the block exits."""
+
+    __slots__ = ("_tracer", "span_id", "name", "parent", "depth", "_start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        name: str,
+        parent: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.parent = parent
+        self.depth = depth
+        self.attrs = attrs
+        self._start = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach key/value attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._finish(self)
+        return False
+
+
+class Tracer:
+    """Collects spans for one traced run.
+
+    Spans nest: entering a span pushes it on the tracer's stack, so spans
+    opened inside the block record it as their parent. Finished spans are
+    kept in completion order; :meth:`write_jsonl` emits them start-ordered
+    behind a schema header line.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self._stack: List[_ActiveSpan] = []
+        self.spans: List[Span] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("filter"): ...``."""
+        parent = self._stack[-1] if self._stack else None
+        active = _ActiveSpan(
+            tracer=self,
+            span_id=self._next_id,
+            name=name,
+            parent=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(active)
+        return active
+
+    def _finish(self, active: _ActiveSpan) -> None:
+        # Unwind to the finishing span so an exception skipping inner
+        # __exit__ calls cannot corrupt later parentage.
+        while self._stack:
+            top = self._stack.pop()
+            if top is active:
+                break
+        self.spans.append(
+            Span(
+                span_id=active.span_id,
+                name=active.name,
+                parent=active.parent,
+                depth=active.depth,
+                start=active._start,
+                end=self._now(),
+                attrs=active.attrs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every finished span called ``name``."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Header record plus one record per span, start-ordered."""
+        records: List[Dict[str, Any]] = [
+            {
+                "type": "meta",
+                "schema": TRACE_SCHEMA,
+                "spans": len(self.spans),
+            }
+        ]
+        for s in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
+            records.append(s.to_dict())
+        return records
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the trace as JSONL; returns the number of span records."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.to_dicts():
+                fh.write(json.dumps(record) + "\n")
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self.spans)}, open={len(self._stack)})"
+
+
+# ----------------------------------------------------------------------
+# Ambient tracer (thread-local)
+# ----------------------------------------------------------------------
+
+_STATE = threading.local()
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The thread's current tracer, or ``None`` when tracing is off."""
+    return getattr(_STATE, "tracer", None)
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the thread's current tracer; returns the old one."""
+    previous = getattr(_STATE, "tracer", None)
+    _STATE.tracer = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the block (re-entrant safe)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the current tracer; a shared no-op when tracing is off.
+
+    >>> with span("filter"):  # no tracer installed: near-zero overhead
+    ...     pass
+    """
+    tracer = getattr(_STATE, "tracer", None)
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
+from repro.obs import add_counter
 from repro.ordering.base import Ordering
 
 __all__ = ["GraphQLOrdering"]
@@ -33,12 +34,16 @@ class GraphQLOrdering(Ordering):
     ) -> List[int]:
         cand = self._require_candidates(candidates)
 
+        # One |C(u)| cost estimate is evaluated per vertex considered by
+        # each greedy min() step (the paper's left-deep-join cost model).
+        add_counter("order.cost_evaluations", query.num_vertices)
         start = min(query.vertices(), key=lambda u: (cand.size(u), u))
         phi = [start]
         placed = {start}
         frontier = set(query.neighbors(start).tolist())
 
         while len(phi) < query.num_vertices:
+            add_counter("order.cost_evaluations", len(frontier))
             u = min(frontier, key=lambda w: (cand.size(w), w))
             phi.append(u)
             placed.add(u)

@@ -21,6 +21,7 @@ from typing import List, Optional, Set
 
 from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
+from repro.obs import add_counter
 from repro.ordering.base import Ordering
 
 __all__ = ["RIOrdering"]
@@ -49,6 +50,9 @@ class RIOrdering(Ordering):
                 for w in query.neighbors(u).tolist()
                 if w not in placed
             }
+            # Each frontier vertex gets one (score, tiebreak, tiebreak)
+            # cost evaluation per greedy step.
+            add_counter("order.cost_evaluations", len(frontier))
             best = max(
                 frontier,
                 key=lambda u: (

@@ -82,6 +82,7 @@ def _run_one(task: Tuple[int, Graph]) -> QueryRecord:
         candidate_average=result.candidate_average,
         memory_bytes=result.memory_bytes,
         recursion_calls=result.stats.recursion_calls,
+        metrics=result.metrics.to_dict(),
     )
 
 

@@ -24,6 +24,7 @@ from repro.core.api import match
 from repro.core.spec import AlgorithmSpec
 from repro.glasgow.solver import glasgow_match
 from repro.graph.graph import Graph
+from repro.obs import Metrics
 
 __all__ = [
     "QueryRecord",
@@ -63,6 +64,10 @@ class QueryRecord:
     candidate_average: Optional[float]
     memory_bytes: int
     recursion_calls: int
+
+    #: The query's :class:`~repro.obs.Metrics` in plain-dict form (kept
+    #: JSON/pickle-friendly so parallel workers ship it unchanged).
+    metrics: Optional[Dict] = None
 
 
 @dataclass
@@ -123,6 +128,19 @@ class RunSummary:
     @property
     def peak_memory_bytes(self) -> int:
         return max((r.memory_bytes for r in self.records), default=0)
+
+    @property
+    def merged_metrics(self) -> Metrics:
+        """All per-query counters merged (associative + commutative sum).
+
+        Sequential and parallel runs of the same workload produce equal
+        merged metrics — the parity the integration suite enforces.
+        """
+        merged = Metrics()
+        for record in self.records:
+            if record.metrics is not None:
+                merged = merged.merge(Metrics.from_dict(record.metrics))
+        return merged
 
     def _charged_enumeration_ms(self, record: QueryRecord) -> float:
         if record.solved:
@@ -225,6 +243,7 @@ def run_algorithm_on_set(
                 candidate_average=result.candidate_average,
                 memory_bytes=result.memory_bytes,
                 recursion_calls=result.stats.recursion_calls,
+                metrics=result.metrics.to_dict(),
             )
         )
     return summary

@@ -1,0 +1,81 @@
+"""Sequential vs parallel study runs must be indistinguishable as data.
+
+The parallel runner exists for throughput, not different answers: per
+query it must produce the same match counts and solved flags as the
+sequential runner on fixed seeds, and its merged counters (shipped from
+worker processes as serialized Metrics dicts) must equal the sequential
+sums — otherwise cross-layer metrics would silently change meaning the
+moment a study fans out.
+"""
+
+import pytest
+
+from repro.obs import Metrics
+from repro.study import (
+    build_query_set,
+    load_dataset,
+    run_algorithm_on_set,
+    run_algorithm_on_set_parallel,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = load_dataset("ye", scale=0.3)
+    qs = build_query_set(data, "ye", 6, None, 5, seed=42)
+    return data, qs
+
+
+@pytest.fixture(scope="module")
+def runs(workload):
+    data, qs = workload
+    sequential = run_algorithm_on_set(
+        "CFL", data, qs.queries, time_limit=10.0
+    )
+    parallel = run_algorithm_on_set_parallel(
+        "CFL", data, qs.queries, time_limit=10.0, workers=2
+    )
+    return sequential, parallel
+
+
+class TestParallelParity:
+    def test_match_counts_and_solved_flags_identical(self, runs):
+        sequential, parallel = runs
+        assert [r.num_matches for r in parallel.records] == [
+            r.num_matches for r in sequential.records
+        ]
+        assert [r.solved for r in parallel.records] == [
+            r.solved for r in sequential.records
+        ]
+        assert [r.query_index for r in parallel.records] == [
+            r.query_index for r in sequential.records
+        ]
+
+    def test_every_record_carries_metrics(self, runs):
+        sequential, parallel = runs
+        for summary in (sequential, parallel):
+            for record in summary.records:
+                assert record.metrics is not None
+                assert "counters" in record.metrics
+
+    def test_merged_parallel_counters_equal_sequential_sums(self, runs):
+        sequential, parallel = runs
+        seq, par = sequential.merged_metrics, parallel.merged_metrics
+        assert seq.counters == par.counters
+        # timings are wall-clock and may differ; the keys must not
+        assert set(seq.phase_seconds) == set(par.phase_seconds)
+
+    def test_per_query_counters_identical(self, runs):
+        sequential, parallel = runs
+        for seq_rec, par_rec in zip(sequential.records, parallel.records):
+            assert (
+                Metrics.from_dict(seq_rec.metrics).counters
+                == Metrics.from_dict(par_rec.metrics).counters
+            )
+
+    def test_merged_metrics_match_manual_fold(self, runs):
+        sequential, _ = runs
+        manual = Metrics()
+        for record in sequential.records:
+            manual = manual.merge(Metrics.from_dict(record.metrics))
+        assert manual == sequential.merged_metrics

@@ -1,0 +1,134 @@
+"""Property tests for the observability invariants (repro.obs).
+
+The counters are only worth reporting if they obey the arithmetic the
+paper's figures assume, on *any* input:
+
+* every counter is non-negative;
+* ``recursion_calls >= num_matches`` on solved queries (each match is
+  found at a leaf of the search tree, and every leaf is a call);
+* ``candidates_scanned >= conflicts`` (a conflict is one scanned
+  candidate rejected by injectivity);
+* filter-stage totals are monotone non-increasing (after generation,
+  every rule only prunes — the completeness counterpart the filters
+  already property-test);
+* counter merge is associative and commutative, so a parallel runner may
+  fold worker results in any order without changing a RunSummary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import query_data_pairs
+
+from repro.core import match
+from repro.filtering import (
+    CECIFilter,
+    CFLFilter,
+    DPisoFilter,
+    GraphQLFilter,
+    LDFFilter,
+    NLFFilter,
+)
+from repro.filtering.steady import SteadyFilter
+from repro.obs import Metrics, collecting
+
+ALGORITHMS = ["GQL", "CFL", "CECI", "DP", "RIfs"]
+
+FILTERS = [
+    LDFFilter,
+    NLFFilter,
+    GraphQLFilter,
+    CFLFilter,
+    CECIFilter,
+    DPisoFilter,
+    SteadyFilter,
+]
+
+
+@settings(deadline=None, max_examples=30)
+@given(query_data_pairs(), st.sampled_from(ALGORITHMS))
+def test_counters_nonnegative_and_consistent(pair, algorithm):
+    query, data = pair
+    result = match(query, data, algorithm=algorithm, validate=False)
+    counters = result.metrics.counters
+    assert all(v >= 0 for v in counters.values()), counters
+    if result.solved:
+        assert counters["enumerate.recursion_calls"] >= result.num_matches
+    assert (
+        counters["enumerate.candidates_scanned"]
+        >= counters["enumerate.conflicts"]
+    )
+    assert all(t >= 0.0 for t in result.metrics.phase_seconds.values())
+
+
+@settings(deadline=None, max_examples=30)
+@given(query_data_pairs(), st.sampled_from(FILTERS))
+def test_filter_stage_totals_monotone_nonincreasing(pair, filter_cls):
+    query, data = pair
+    metrics = Metrics()
+    with collecting(metrics):
+        candidates = filter_cls().run(query, data)
+    totals = [stage.candidates for stage in metrics.filter_stages]
+    assert totals, f"{filter_cls.__name__} recorded no stages"
+    assert all(t >= 0 for t in totals)
+    assert all(a >= b for a, b in zip(totals, totals[1:])), totals
+    # the last recorded stage is the filter's actual output
+    assert totals[-1] == candidates.total_size
+
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(
+        [
+            "filter.candidates_final",
+            "filter.refinement_iterations",
+            "order.cost_evaluations",
+            "enumerate.recursion_calls",
+            "enumerate.conflicts",
+        ]
+    ),
+    st.integers(0, 10_000),
+    max_size=5,
+)
+
+# Dyadic rationals (k/1024) sum exactly in binary floating point, so the
+# associativity assertion below is exact. Counters are ints — for them
+# associativity holds unconditionally, which is what the parallel runner
+# relies on; timings are only ever reported, never compared bit-for-bit.
+phase_dicts = st.dictionaries(
+    st.sampled_from(["filter", "order", "enumerate"]),
+    st.integers(0, 1024).map(lambda k: k / 1024.0),
+    max_size=3,
+)
+
+metrics_objects = st.builds(
+    Metrics, counters=counter_dicts, phase_seconds=phase_dicts
+)
+
+
+@settings(deadline=None)
+@given(metrics_objects, metrics_objects)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@settings(deadline=None)
+@given(metrics_objects, metrics_objects, metrics_objects)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@settings(deadline=None)
+@given(metrics_objects)
+def test_merge_identity(a):
+    merged = a.merge(Metrics())
+    assert merged.counters == a.counters
+    assert merged.phase_seconds == a.phase_seconds
+
+
+@settings(deadline=None, max_examples=20)
+@given(query_data_pairs())
+def test_metrics_survive_dict_round_trip(pair):
+    query, data = pair
+    result = match(query, data, algorithm="CFL", validate=False)
+    restored = Metrics.from_dict(result.metrics.to_dict())
+    assert restored == result.metrics

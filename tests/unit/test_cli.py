@@ -68,6 +68,62 @@ class TestMatchCommand:
         assert count(gql_out) == count(ri_out)
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_valid_jsonl(self, graph_files, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        query_path, data_path = graph_files
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["match", "-q", query_path, "-d", data_path, "-a", "CFL",
+             "--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace" in out
+        summary = validate_trace_file(str(trace_path))
+        assert summary["names"]["match"] == 1
+        for phase in ("filter", "order", "enumerate"):
+            assert summary["names"][phase] == 1
+
+    def test_metrics_out_writes_counters(self, graph_files, tmp_path, capsys):
+        import json
+
+        query_path, data_path = graph_files
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["match", "-q", query_path, "-d", data_path, "-a", "GQL",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["counters"]["enumerate.recursion_calls"] > 0
+        assert "filter.candidates_final" in payload["counters"]
+        assert set(payload["phase_seconds"]) == {"filter", "order", "enumerate"}
+        assert payload["filter_stages"]
+
+    def test_trace_and_metrics_together(self, graph_files, tmp_path, capsys):
+        query_path, data_path = graph_files
+        code = main(
+            ["match", "-q", query_path, "-d", data_path, "-a", "CECI",
+             "--trace", str(tmp_path / "t.jsonl"),
+             "--metrics-out", str(tmp_path / "m.json")]
+        )
+        assert code == 0
+        assert (tmp_path / "t.jsonl").exists()
+        assert (tmp_path / "m.json").exists()
+
+    def test_no_tracer_left_installed_after_run(self, graph_files, tmp_path):
+        from repro.obs import get_tracer
+
+        query_path, data_path = graph_files
+        main(
+            ["match", "-q", query_path, "-d", data_path, "-a", "CFL",
+             "--trace", str(tmp_path / "trace.jsonl")]
+        )
+        assert get_tracer() is None
+
+
 class TestCompareCommand:
     def test_table_printed(self, graph_files, capsys):
         query_path, data_path = graph_files

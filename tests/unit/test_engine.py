@@ -142,3 +142,70 @@ class TestNeighborScanWithoutCandidates:
             PAPER_QUERY, PAPER_DATA, None, None, [0, 1, 2, 3]
         )
         assert set(out.embeddings) == PAPER_MATCHES
+
+
+class TestDeadlineExpiry:
+    """The budget kill must leave a usable, fully-accounted result."""
+
+    @pytest.fixture(scope="class")
+    def heavy(self):
+        # Near-unlabeled dense graph: the search tree explodes, so a tiny
+        # budget reliably expires mid-enumeration.
+        data = rmat_graph(400, 16.0, 1, seed=3, clustering=0.3)
+        query = extract_query(data, 12, seed=1)
+        return query, data
+
+    def test_unsolved_outcome_keeps_partial_counters(self, heavy):
+        query, data = heavy
+        cand = GraphQLFilter().run(query, data)
+        aux = AuxiliaryStructure.build(query, data, cand, scope="all")
+        order = GraphQLOrdering().order(query, data, cand)
+        out = BacktrackingEngine(IntersectionLC()).run(
+            query, data, cand, aux, order,
+            match_limit=None, time_limit=0.05,
+        )
+        assert not out.solved
+        # Work done before the kill stays visible.
+        assert out.stats.recursion_calls > 0
+        assert out.stats.candidates_scanned > 0
+        assert out.elapsed > 0.0
+
+    def test_budget_exceeded_never_escapes_match(self, heavy):
+        from repro.core import match
+
+        query, data = heavy
+        result = match(
+            query, data, algorithm="GQL",
+            match_limit=None, time_limit=0.05,
+        )  # must not raise BudgetExceeded
+        assert not result.solved
+
+    def test_unsolved_match_records_elapsed_per_phase(self, heavy):
+        from repro.core import match
+
+        query, data = heavy
+        result = match(
+            query, data, algorithm="GQL",
+            match_limit=None, time_limit=0.05,
+        )
+        assert not result.solved
+        # Split timings survive the kill...
+        assert result.preprocessing_seconds > 0.0
+        assert result.enumeration_seconds > 0.0
+        # ...and so do the per-phase metrics entries.
+        phases = result.metrics.phase_seconds
+        assert set(phases) == {"filter", "order", "enumerate"}
+        assert all(seconds > 0.0 for seconds in phases.values())
+
+    def test_unsolved_match_keeps_partial_metrics(self, heavy):
+        from repro.core import match
+
+        query, data = heavy
+        result = match(
+            query, data, algorithm="GQL",
+            match_limit=None, time_limit=0.05,
+        )
+        counters = result.metrics.counters
+        assert counters["enumerate.recursion_calls"] > 0
+        assert counters["filter.candidates_final"] > 0
+        assert result.metrics.filter_stages

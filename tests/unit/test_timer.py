@@ -53,3 +53,50 @@ class TestDeadline:
             Deadline(0)
         with pytest.raises(ValueError):
             Deadline(-1.0)
+
+    def test_expired_is_sticky(self):
+        # Monotonic clock: once over budget, every later poll agrees.
+        d = Deadline(0.01)
+        time.sleep(0.02)
+        assert d.expired()
+        assert d.expired()
+
+    def test_remaining_decreases(self):
+        d = Deadline(10.0)
+        first = d.remaining
+        time.sleep(0.01)
+        assert d.remaining < first
+
+
+class TestDeadlineInEngine:
+    """The engine's cooperative kill is the paper's unsolved-query path."""
+
+    def test_timer_still_measures_killed_run(self):
+        # A Timer wrapping a body that raises through it must still be
+        # usable for the next measurement (match() relies on this when
+        # BudgetExceeded unwinds into the engine's handler).
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError
+        assert t.elapsed >= 0.0
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > 0.0
+
+    def test_budget_exceeded_is_contained(self):
+        from repro.errors import BudgetExceeded
+        from repro.core import match
+        from repro.graph import extract_query, rmat_graph
+
+        data = rmat_graph(300, 12.0, 1, seed=5, clustering=0.3)
+        query = extract_query(data, 10, seed=2)
+        try:
+            result = match(
+                query, data, algorithm="GQL",
+                match_limit=None, time_limit=0.02,
+            )
+        except BudgetExceeded:  # pragma: no cover - the defect under test
+            pytest.fail("BudgetExceeded escaped match()")
+        assert not result.solved
+        assert result.enumeration_seconds > 0.0
