@@ -18,8 +18,11 @@ Quickstart::
 
 from repro.core import (
     AlgorithmSpec,
+    MatchPlan,
     MatchResult,
+    MatchSession,
     available_algorithms,
+    compile_plan,
     count_matches,
     get_algorithm,
     has_match,
@@ -29,7 +32,7 @@ from repro.core import (
     explain_embedding_failure,
 )
 from repro.enumeration import iter_matches
-from repro.graph import Graph, load_graph, save_graph
+from repro.graph import Graph, load_graph, query_fingerprint, save_graph
 
 __version__ = "1.0.0"
 
@@ -37,7 +40,11 @@ __all__ = [
     "Graph",
     "load_graph",
     "save_graph",
+    "query_fingerprint",
     "match",
+    "MatchSession",
+    "MatchPlan",
+    "compile_plan",
     "iter_matches",
     "count_matches",
     "has_match",

@@ -17,7 +17,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.core import available_algorithms, match
+from repro.core import MatchSession, algorithm_components, available_algorithms, match
 from repro.glasgow import glasgow_match
 from repro.graph import (
     erdos_renyi_graph,
@@ -167,6 +167,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     query = load_graph(args.query)
     data = load_graph(args.data)
+    # One session serves every preset: the data graph and kernel indexes
+    # are resident once, and only the per-preset pipeline re-runs.
+    session = MatchSession(
+        data, kernel=args.kernel, prep_cache_size=0, record_cache_metrics=False
+    )
     rows = []
     for name in args.algorithms:
         if name == "GLW":
@@ -176,12 +181,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 store_limit=0,
             )
         else:
-            result = match(
-                query, data,
+            result = session.match(
+                query,
                 algorithm=name,
                 match_limit=args.match_limit, time_limit=args.time_limit,
                 store_limit=0,
-                kernel=args.kernel,
             )
         rows.append(
             [
@@ -261,8 +265,26 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_algorithms() -> int:
+    rows = []
     for name in available_algorithms():
-        print(name)
+        parts = algorithm_components(name)
+        rows.append(
+            [
+                name,
+                parts["filter"],
+                parts["ordering"],
+                parts["lc"],
+                parts["aux"],
+                parts["failing_sets"],
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "filter", "ordering", "ComputeLC", "aux", "failing sets"],
+            rows,
+            title="Presets (components resolved from the registry)",
+        )
+    )
     print("GLW (Glasgow constraint-programming solver)")
     return 0
 

@@ -1,19 +1,31 @@
 """Core: composed algorithms and the public matching API.
 
 This is the layer a downstream user touches: ``match(query, data,
-algorithm="GQLfs")`` runs a full Algorithm 1 pipeline; the preset registry
-covers every configuration of the paper's study.
+algorithm="GQLfs")`` runs a full Algorithm 1 pipeline; the preset tables
+cover every configuration of the paper's study; a
+:class:`~repro.core.session.MatchSession` serves many queries against one
+resident data graph with compiled-plan and preprocessing reuse.
 """
 
 from repro.core.algorithms import (
     OPTIMIZED_NAMES,
     ORIGINAL_NAMES,
+    algorithm_components,
     available_algorithms,
     get_algorithm,
     recommended_spec,
 )
 from repro.core.api import count_matches, has_match, match
+from repro.core.plan import MatchPlan, PreparedQuery, compile_plan, run_plan
+from repro.core.registry import (
+    FILTERS,
+    LOCAL_CANDIDATES,
+    ORDERINGS,
+    PresetDef,
+    register_algorithm,
+)
 from repro.core.result import MatchResult
+from repro.core.session import MatchSession
 from repro.core.spec import AlgorithmSpec
 from repro.core.verify import explain_embedding_failure, verify_embedding
 
@@ -24,8 +36,19 @@ __all__ = [
     "count_matches",
     "has_match",
     "MatchResult",
+    "MatchSession",
+    "MatchPlan",
+    "PreparedQuery",
+    "compile_plan",
+    "run_plan",
     "AlgorithmSpec",
+    "PresetDef",
+    "register_algorithm",
+    "FILTERS",
+    "ORDERINGS",
+    "LOCAL_CANDIDATES",
     "available_algorithms",
+    "algorithm_components",
     "get_algorithm",
     "recommended_spec",
     "ORIGINAL_NAMES",

@@ -5,25 +5,25 @@ structure, matching order, enumeration — with the paper's two limits
 (match cap, wall-clock budget) and returns a
 :class:`~repro.core.result.MatchResult` carrying the split timings the
 study reports.
+
+Since the query-compilation refactor, ``match()`` is a thin back-compat
+wrapper: it builds one throwaway :class:`~repro.core.session.MatchSession`
+(caches off, cache counters suppressed) and runs the query through it, so
+results stay byte-identical to the historical one-shot pipeline. Callers
+issuing many queries against one data graph should hold a
+:class:`~repro.core.session.MatchSession` instead and get plan caching
+and preprocessing reuse for free.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.core.algorithms import resolve
 from repro.core.result import MatchResult
+from repro.core.session import MatchSession
 from repro.core.spec import AlgorithmSpec
-from repro.enumeration.engine import BacktrackingEngine
-from repro.enumeration.local_candidates import IntersectionLC
-from repro.errors import InvalidQueryError
-from repro.filtering.auxiliary import AuxiliaryStructure
 from repro.graph.graph import Graph
-from repro.graph.ops import connected
-from repro.obs import Metrics, collecting, span
-from repro.ordering.dpiso import DPisoOrdering
-from repro.utils.kernels import KernelBackend, get_kernel
-from repro.utils.timer import Timer
+from repro.utils.kernels import KernelBackend
 
 __all__ = ["match", "count_matches", "has_match"]
 
@@ -81,111 +81,20 @@ def match(
     >>> match(triangle_free, data, algorithm="GQL").num_matches
     4
     """
-    if validate:
-        _validate_query(query)
-
-    spec = resolve(algorithm, query, data)
-    metrics = Metrics()
-
-    # The whole pipeline runs with `metrics` installed as the ambient
-    # sink, so filters and orderings report counters without threading a
-    # parameter through every signature; `span()` is a no-op unless the
-    # caller installed a tracer (see repro.obs).
-    with collecting(metrics), span("match", algorithm=spec.name):
-        with Timer() as prep_timer:
-            # Filtering phase: candidate generation plus the auxiliary
-            # structure built from it (the paper accounts both to the
-            # filtering component of preprocessing).
-            with span(
-                "filter", filter=spec.filter.name if spec.filter else None
-            ), Timer() as filter_timer:
-                candidates = spec.filter.run(query, data) if spec.filter else None
-
-                tree = None
-                if spec.aux_scope == "tree":
-                    assert spec.tree_source is not None, "tree scope requires tree_source"
-                    tree = spec.tree_source(query, data)
-
-                auxiliary = None
-                if spec.aux_scope != "none":
-                    assert candidates is not None, "auxiliary structure needs candidates"
-                    with span("filter.auxiliary", scope=spec.aux_scope):
-                        auxiliary = AuxiliaryStructure.build(
-                            query, data, candidates, scope=spec.aux_scope, tree=tree
-                        )
-            metrics.record_phase("filter", filter_timer.elapsed)
-
-            with span("order", ordering=spec.ordering.name), Timer() as order_timer:
-                adaptive_state = None
-                order = None
-                if spec.adaptive:
-                    assert candidates is not None, "adaptive mode needs candidates"
-                    assert isinstance(spec.ordering, DPisoOrdering)
-                    adaptive_state = spec.ordering.adaptive_state(
-                        query, data, candidates
-                    )
-                else:
-                    order = spec.ordering.order(query, data, candidates)
-            metrics.record_phase("order", order_timer.elapsed)
-
-            # Resolve the intersection backend for the Algorithm 5 hot path.
-            # A spec constructed with an explicit kernel keeps it; the stock
-            # default is swapped for the session backend (env var / auto
-            # heuristic / the explicit `kernel` argument).
-            lc = spec.lc
-            kernel_used = None
-            if isinstance(lc, IntersectionLC) and (
-                kernel is not None or lc.uses_default_kernel
-            ):
-                with span("kernel.resolve"):
-                    backend = get_kernel(kernel, data=data, candidates=candidates)
-                lc = IntersectionLC(kernel=backend)
-                kernel_used = backend.name
-
-        engine = BacktrackingEngine(
-            lc,
-            use_failing_sets=spec.failing_sets,
-            adaptive=adaptive_state,
-        )
-        with span("enumerate", kernel=kernel_used) as enum_span:
-            outcome = engine.run(
-                query,
-                data,
-                candidates,
-                auxiliary,
-                order,
-                tree_parent=tree.parent if tree is not None else None,
-                match_limit=match_limit,
-                time_limit=time_limit,
-                store_limit=store_limit,
-            )
-            enum_span.annotate(
-                num_matches=outcome.num_matches, solved=outcome.solved
-            )
-        metrics.record_phase("enumerate", outcome.elapsed)
-        metrics.record_enumeration(outcome.stats)
-
-    memory = 0
-    candidate_average = None
-    if candidates is not None:
-        memory += candidates.memory_bytes
-        candidate_average = candidates.average_size
-    if auxiliary is not None:
-        memory += auxiliary.memory_bytes
-
-    return MatchResult(
-        algorithm=spec.name,
-        num_matches=outcome.num_matches,
-        solved=outcome.solved,
-        embeddings=outcome.embeddings,
-        order=order,
-        kernel=kernel_used,
-        preprocessing_seconds=prep_timer.elapsed,
-        enumeration_seconds=outcome.elapsed,
-        candidate_average=candidate_average,
-        memory_bytes=memory,
-        stats=outcome.stats,
-        metrics=metrics,
+    session = MatchSession(
+        data,
+        algorithm=algorithm,
+        kernel=kernel,
+        plan_cache_size=0,
+        prep_cache_size=0,
+        record_cache_metrics=False,
+    )
+    return session.match(
+        query,
+        match_limit=match_limit,
+        time_limit=time_limit,
+        store_limit=store_limit,
+        validate=validate,
     )
 
 
@@ -196,15 +105,23 @@ def count_matches(
     match_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
     kernel: Optional[KernelLike] = None,
+    store_limit: int = 0,
+    validate: bool = True,
 ) -> int:
-    """Number of matches (all of them by default); stores no embeddings."""
+    """Number of matches (all of them by default); stores no embeddings.
+
+    ``validate`` and ``store_limit`` pass through to :func:`match` —
+    tight loops can skip validation here exactly as they can on
+    ``match()`` itself.
+    """
     return match(
         query,
         data,
         algorithm=algorithm,
         match_limit=match_limit,
         time_limit=time_limit,
-        store_limit=0,
+        store_limit=store_limit,
+        validate=validate,
         kernel=kernel,
     ).num_matches
 
@@ -215,8 +132,13 @@ def has_match(
     algorithm: AlgorithmLike = "recommended",
     time_limit: Optional[float] = None,
     kernel: Optional[KernelLike] = None,
+    store_limit: int = 0,
+    validate: bool = True,
 ) -> bool:
-    """Whether at least one match exists (stops at the first)."""
+    """Whether at least one match exists (stops at the first).
+
+    ``validate`` and ``store_limit`` pass through to :func:`match`.
+    """
     return (
         match(
             query,
@@ -224,18 +146,9 @@ def has_match(
             algorithm=algorithm,
             match_limit=1,
             time_limit=time_limit,
-            store_limit=0,
+            store_limit=store_limit,
+            validate=validate,
             kernel=kernel,
         ).num_matches
         > 0
     )
-
-
-def _validate_query(query: Graph) -> None:
-    if query.num_vertices < 3:
-        raise InvalidQueryError(
-            "queries must have at least 3 vertices (single vertices and "
-            "edges are trivial; see the paper's problem definition)"
-        )
-    if not connected(query):
-        raise InvalidQueryError("query graphs must be connected")

@@ -1,0 +1,367 @@
+"""Query compilation: the immutable MatchPlan and its executor.
+
+The paper's evaluation shape — and the production shape this repository
+grows toward — is *many queries against one resident data graph*. That
+split is made explicit here:
+
+* :func:`compile_plan` resolves everything about a ``(algorithm, query,
+  data)`` triple that does **not** depend on the query's vertex
+  numbering: the algorithm spec, the kernel policy and the aux-scope
+  policy. The result is an immutable :class:`MatchPlan`, cacheable by the
+  order-invariant query fingerprint
+  (:func:`repro.graph.fingerprint.query_fingerprint`).
+* :func:`run_plan` executes a plan: filtering, auxiliary structure,
+  ordering, kernel resolution, enumeration — the full Algorithm 1
+  pipeline. The per-query artifacts it builds (candidates, auxiliary
+  adjacency, matching order, the resolved kernel with its encode caches)
+  come back as a :class:`PreparedQuery`, which a
+  :class:`~repro.core.session.MatchSession` may hand back on a later call
+  with the *identical* query to skip the whole preprocessing phase.
+
+Cache-soundness contract: a plan's contents may only depend on
+fingerprint-stable query features (``num_vertices``, ``num_edges``,
+label/degree structure) plus the data graph — two queries with equal
+fingerprints must compile to equal plans. A ``PreparedQuery`` is bound to
+the exact query graph (vertex numbering included) and is only reusable
+under exact :class:`~repro.graph.graph.Graph` equality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional, Tuple, Union
+
+from repro.core.algorithms import resolve
+from repro.core.result import MatchResult
+from repro.core.spec import AlgorithmSpec
+from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.local_candidates import IntersectionLC
+from repro.errors import InvalidQueryError
+from repro.filtering.auxiliary import AuxiliaryStructure
+from repro.graph.fingerprint import query_fingerprint
+from repro.graph.graph import Graph
+from repro.graph.ops import connected
+from repro.obs import Metrics, collecting, span
+from repro.ordering.dpiso import DPisoOrdering
+from repro.utils.kernels import KernelBackend, get_kernel
+from repro.utils.timer import Timer
+
+__all__ = [
+    "MatchPlan",
+    "PreparedQuery",
+    "LRUCache",
+    "compile_plan",
+    "run_plan",
+    "validate_query",
+]
+
+AlgorithmLike = Union[str, AlgorithmSpec]
+KernelLike = Union[str, KernelBackend]
+
+
+def validate_query(query: Graph) -> None:
+    """The paper's query preconditions: connected, at least 3 vertices."""
+    if query.num_vertices < 3:
+        raise InvalidQueryError(
+            "queries must have at least 3 vertices (single vertices and "
+            "edges are trivial; see the paper's problem definition)"
+        )
+    if not connected(query):
+        raise InvalidQueryError("query graphs must be connected")
+
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """A compiled query: resolved spec + kernel policy + aux-scope policy.
+
+    Immutable and reusable across any query sharing the fingerprint; the
+    per-query artifacts (candidates, order, …) live in
+    :class:`PreparedQuery` instead.
+    """
+
+    #: The fully resolved algorithm composition.
+    algorithm: AlgorithmSpec
+    #: Order-invariant fingerprint of the query the plan was compiled for.
+    fingerprint: str
+    #: The kernel request this plan was compiled under (name, backend
+    #: instance or ``None`` for the env/auto default) — resolution to a
+    #: concrete backend happens per prepared query, where candidate
+    #: density is known.
+    kernel_policy: Optional[KernelLike]
+    #: Which query edges the auxiliary structure will materialize.
+    aux_scope: str
+    query_vertices: int
+    query_edges: int
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchPlan({self.algorithm.name}, {self.fingerprint}, "
+            f"aux={self.aux_scope!r})"
+        )
+
+
+@dataclass
+class PreparedQuery:
+    """Per-query preprocessing artifacts, reusable for the exact query.
+
+    Everything here is read-only during enumeration (candidate arrays,
+    auxiliary adjacency and the matching order are never mutated by the
+    engine), so one ``PreparedQuery`` can serve any number of runs. The
+    resolved kernel instance rides along: identity-keyed encode caches
+    (bitset/QFilter layouts over the auxiliary arrays) stay warm across
+    repeats — the "build the index once" amortization of CNI-style
+    data-side indexing.
+    """
+
+    candidates: Any = None
+    tree: Any = None
+    auxiliary: Optional[AuxiliaryStructure] = None
+    order: Optional[List[int]] = None
+    adaptive_state: Any = None
+    lc: Any = None
+    kernel_used: Optional[str] = None
+    preprocessing_seconds: float = 0.0
+
+
+class LRUCache:
+    """A tiny LRU map with hit/miss counters (plan and prep caches).
+
+    ``capacity=None`` means unbounded; ``capacity=0`` disables the cache
+    entirely (every :meth:`get` is a miss and :meth:`put` is a no-op).
+    """
+
+    def __init__(self, capacity: Optional[int] = 128) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("cache capacity must be >= 0 (or None)")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict:
+        """Counters + occupancy, in the shape ``cache_info`` reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+def compile_plan(
+    algorithm: AlgorithmLike,
+    query: Graph,
+    data: Graph,
+    kernel: Optional[KernelLike] = None,
+    fingerprint: Optional[str] = None,
+) -> MatchPlan:
+    """Compile ``(algorithm, query, data)`` into an immutable plan.
+
+    ``fingerprint`` may be passed in when the caller already computed it
+    for a cache probe. Only fingerprint-stable query features are
+    consulted (``"recommended"`` resolves on ``num_vertices`` and data
+    density), which is the invariant that makes fingerprint-keyed plan
+    caching sound.
+    """
+    spec = resolve(algorithm, query, data)
+    return MatchPlan(
+        algorithm=spec,
+        fingerprint=fingerprint or query_fingerprint(query),
+        kernel_policy=kernel,
+        aux_scope=spec.aux_scope,
+        query_vertices=query.num_vertices,
+        query_edges=query.num_edges,
+    )
+
+
+def prepare_query(
+    plan: MatchPlan,
+    query: Graph,
+    data: Graph,
+    metrics: Metrics,
+) -> PreparedQuery:
+    """Run the preprocessing phases of ``plan`` for one concrete query.
+
+    Filtering, auxiliary-structure construction, ordering and kernel
+    resolution — everything Algorithm 1 does before enumeration. The
+    caller owns metrics installation; phase timings are recorded on
+    ``metrics`` exactly as the one-shot pipeline always did.
+    """
+    spec = plan.algorithm
+    prepared = PreparedQuery()
+    with Timer() as prep_timer:
+        # Filtering phase: candidate generation plus the auxiliary
+        # structure built from it (the paper accounts both to the
+        # filtering component of preprocessing).
+        with span(
+            "filter", filter=spec.filter.name if spec.filter else None
+        ), Timer() as filter_timer:
+            candidates = spec.filter.run(query, data) if spec.filter else None
+
+            tree = None
+            if spec.aux_scope == "tree":
+                assert spec.tree_source is not None, "tree scope requires tree_source"
+                tree = spec.tree_source(query, data)
+
+            auxiliary = None
+            if spec.aux_scope != "none":
+                assert candidates is not None, "auxiliary structure needs candidates"
+                with span("filter.auxiliary", scope=spec.aux_scope):
+                    auxiliary = AuxiliaryStructure.build(
+                        query, data, candidates, scope=spec.aux_scope, tree=tree
+                    )
+        metrics.record_phase("filter", filter_timer.elapsed)
+
+        with span("order", ordering=spec.ordering.name), Timer() as order_timer:
+            adaptive_state = None
+            order = None
+            if spec.adaptive:
+                assert candidates is not None, "adaptive mode needs candidates"
+                assert isinstance(spec.ordering, DPisoOrdering)
+                adaptive_state = spec.ordering.adaptive_state(
+                    query, data, candidates
+                )
+            else:
+                order = spec.ordering.order(query, data, candidates)
+        metrics.record_phase("order", order_timer.elapsed)
+
+        # Resolve the intersection backend for the Algorithm 5 hot path.
+        # A spec constructed with an explicit kernel keeps it; the stock
+        # default is swapped for the plan's kernel policy (env var / auto
+        # heuristic / an explicit request).
+        lc = spec.lc
+        kernel_used = None
+        kernel = plan.kernel_policy
+        if isinstance(lc, IntersectionLC) and (
+            kernel is not None or lc.uses_default_kernel
+        ):
+            with span("kernel.resolve"):
+                backend = get_kernel(kernel, data=data, candidates=candidates)
+            lc = IntersectionLC(kernel=backend)
+            kernel_used = backend.name
+
+    prepared.candidates = candidates
+    prepared.tree = tree
+    prepared.auxiliary = auxiliary
+    prepared.order = order
+    prepared.adaptive_state = adaptive_state
+    prepared.lc = lc
+    prepared.kernel_used = kernel_used
+    prepared.preprocessing_seconds = prep_timer.elapsed
+    return prepared
+
+
+def run_plan(
+    plan: MatchPlan,
+    query: Graph,
+    data: Graph,
+    prepared: Optional[PreparedQuery] = None,
+    match_limit: Optional[int] = 100_000,
+    time_limit: Optional[float] = None,
+    store_limit: int = 10_000,
+    metrics: Optional[Metrics] = None,
+) -> Tuple[MatchResult, PreparedQuery]:
+    """Execute a compiled plan on one query; returns (result, prepared).
+
+    When ``prepared`` is given (a previous run's artifacts for the *exact*
+    same query), the preprocessing phases are skipped entirely and only
+    enumeration runs — the compile-once, run-many path. Otherwise the
+    artifacts are built and returned for the caller to cache.
+    """
+    spec = plan.algorithm
+    if metrics is None:
+        metrics = Metrics()
+
+    # The whole pipeline runs with `metrics` installed as the ambient
+    # sink, so filters and orderings report counters without threading a
+    # parameter through every signature; `span()` is a no-op unless the
+    # caller installed a tracer (see repro.obs).
+    with collecting(metrics), span("match", algorithm=spec.name):
+        if prepared is None:
+            prepared = prepare_query(plan, query, data, metrics)
+            preprocessing_seconds = prepared.preprocessing_seconds
+        else:
+            preprocessing_seconds = 0.0
+
+        engine = BacktrackingEngine(
+            prepared.lc,
+            use_failing_sets=spec.failing_sets,
+            adaptive=prepared.adaptive_state,
+        )
+        with span("enumerate", kernel=prepared.kernel_used) as enum_span:
+            outcome = engine.run(
+                query,
+                data,
+                prepared.candidates,
+                prepared.auxiliary,
+                prepared.order,
+                tree_parent=(
+                    prepared.tree.parent if prepared.tree is not None else None
+                ),
+                match_limit=match_limit,
+                time_limit=time_limit,
+                store_limit=store_limit,
+            )
+            enum_span.annotate(
+                num_matches=outcome.num_matches, solved=outcome.solved
+            )
+        metrics.record_phase("enumerate", outcome.elapsed)
+        metrics.record_enumeration(outcome.stats)
+
+    memory = 0
+    candidate_average = None
+    if prepared.candidates is not None:
+        memory += prepared.candidates.memory_bytes
+        candidate_average = prepared.candidates.average_size
+    if prepared.auxiliary is not None:
+        memory += prepared.auxiliary.memory_bytes
+
+    result = MatchResult(
+        algorithm=spec.name,
+        num_matches=outcome.num_matches,
+        solved=outcome.solved,
+        embeddings=outcome.embeddings,
+        # A copy: the prepared order may be cached and served to later
+        # runs, so the result must not alias it.
+        order=list(prepared.order) if prepared.order is not None else None,
+        kernel=prepared.kernel_used,
+        preprocessing_seconds=preprocessing_seconds,
+        enumeration_seconds=outcome.elapsed,
+        candidate_average=candidate_average,
+        memory_bytes=memory,
+        stats=outcome.stats,
+        metrics=metrics,
+    )
+    return result, prepared

@@ -1,0 +1,266 @@
+"""Component registries: filters, orderings and ComputeLC methods by name.
+
+The paper's framework thesis is that an algorithm *is* a combination of
+independently chosen components (Algorithm 1). This module makes that
+combination data: each component family lives in a
+:class:`ComponentRegistry`, presets are declarative :class:`PresetDef`
+rows referencing components by name, and :func:`build_spec` wires a row
+into a runnable :class:`~repro.core.spec.AlgorithmSpec`. The preset
+tables in :mod:`repro.core.algorithms` and the ``repro algorithms`` CLI
+breakdown both read from here, so they cannot drift apart — and user
+code can register new components and presets without touching the core:
+
+    from repro.core.registry import FILTERS, register_algorithm, PresetDef
+
+    FILTERS.register("mine", MyFilter)
+    register_algorithm(PresetDef(
+        name="MINE", filter="mine", ordering="RI", lc="ALG5",
+        aux_scope="all",
+    ))
+    match(query, data, algorithm="MINE")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+from repro.core.spec import AlgorithmSpec
+from repro.enumeration.local_candidates import (
+    CandidateScanLC,
+    IntersectionLC,
+    LocalCandidateMethod,
+    NeighborScanLC,
+    TreeAdjacencyLC,
+    VF2ppLC,
+)
+from repro.errors import ConfigurationError
+from repro.filtering import (
+    CECIFilter,
+    CFLFilter,
+    DPisoFilter,
+    GraphQLFilter,
+    LDFFilter,
+    NLFFilter,
+)
+from repro.filtering.base import Filter
+from repro.filtering.steady import SteadyFilter
+from repro.graph.graph import Graph
+from repro.graph.ops import BFSTree
+from repro.ordering import (
+    CECIOrdering,
+    CFLOrdering,
+    DPisoOrdering,
+    GraphQLOrdering,
+    QuickSIOrdering,
+    RIOrdering,
+    VF2ppOrdering,
+)
+from repro.ordering.base import Ordering
+
+__all__ = [
+    "ComponentRegistry",
+    "FILTERS",
+    "ORDERINGS",
+    "LOCAL_CANDIDATES",
+    "TREE_SOURCES",
+    "PresetDef",
+    "build_spec",
+    "describe_preset",
+    "register_algorithm",
+    "registered_algorithms",
+    "get_registered_algorithm",
+]
+
+T = TypeVar("T")
+
+
+class ComponentRegistry(Generic[T]):
+    """Name → factory table for one component family.
+
+    Factories (not instances) are stored so every built spec gets fresh
+    component objects — some components carry per-run caches.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._factories: Dict[str, Callable[[], T]] = {}
+
+    def register(self, name: str, factory: Callable[[], T]) -> None:
+        """Register ``factory`` under ``name`` (replacing any previous one)."""
+        self._factories[name] = factory
+
+    def create(self, name: str) -> T:
+        """Instantiate the component registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise ConfigurationError(
+                f"unknown {self._kind} {name!r}; available: {known}"
+            ) from None
+        return factory()
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __repr__(self) -> str:
+        return f"ComponentRegistry({self._kind!r}, {len(self._factories)} entries)"
+
+
+#: Candidate-generation methods (Section 3.1).
+FILTERS: ComponentRegistry[Filter] = ComponentRegistry("filter")
+for _factory in (
+    LDFFilter,
+    NLFFilter,
+    GraphQLFilter,
+    CFLFilter,
+    CECIFilter,
+    DPisoFilter,
+    SteadyFilter,
+):
+    FILTERS.register(_factory.name, _factory)
+
+#: Matching-order methods (Section 3.2).
+ORDERINGS: ComponentRegistry[Ordering] = ComponentRegistry("ordering")
+for _factory in (
+    QuickSIOrdering,
+    GraphQLOrdering,
+    CFLOrdering,
+    CECIOrdering,
+    DPisoOrdering,
+    RIOrdering,
+    VF2ppOrdering,
+):
+    ORDERINGS.register(_factory.name, _factory)
+
+#: ComputeLC strategies (Algorithms 2–5, Section 3.3).
+LOCAL_CANDIDATES: ComponentRegistry[LocalCandidateMethod] = ComponentRegistry(
+    "ComputeLC method"
+)
+for _factory in (
+    NeighborScanLC,
+    VF2ppLC,
+    CandidateScanLC,
+    TreeAdjacencyLC,
+    IntersectionLC,
+):
+    LOCAL_CANDIDATES.register(_factory.name, _factory)
+
+#: BFS-tree builders for ``aux_scope="tree"`` presets (Algorithm 4's q_t).
+TREE_SOURCES: ComponentRegistry[Callable[[Graph, Graph], BFSTree]] = (
+    ComponentRegistry("tree source")
+)
+TREE_SOURCES.register("CFL", lambda: CFLFilter.build_tree)
+
+
+@dataclass(frozen=True)
+class PresetDef:
+    """One declarative preset row: components by registry name.
+
+    ``filter`` may be ``None`` for direct-enumeration algorithms;
+    ``tree_source`` names a :data:`TREE_SOURCES` entry and is required
+    exactly when ``aux_scope="tree"``.
+    """
+
+    name: str
+    filter: Optional[str]
+    ordering: str
+    lc: str
+    aux_scope: str = "none"
+    adaptive: bool = False
+    failing_sets: bool = False
+    tree_source: Optional[str] = None
+
+    def with_failing_sets(self, name: Optional[str] = None) -> "PresetDef":
+        """The failing-sets variant of this row (default suffix ``fs``)."""
+        return replace(
+            self, failing_sets=True, name=name or (self.name + "fs")
+        )
+
+
+def build_spec(preset: PresetDef) -> AlgorithmSpec:
+    """Wire a preset row into a runnable :class:`AlgorithmSpec`."""
+    if preset.aux_scope == "tree" and preset.tree_source is None:
+        raise ConfigurationError(
+            f"preset {preset.name!r} has aux_scope='tree' but no tree_source"
+        )
+    return AlgorithmSpec(
+        name=preset.name,
+        filter=FILTERS.create(preset.filter) if preset.filter else None,
+        ordering=ORDERINGS.create(preset.ordering),
+        lc=LOCAL_CANDIDATES.create(preset.lc),
+        aux_scope=preset.aux_scope,  # type: ignore[arg-type]
+        adaptive=preset.adaptive,
+        failing_sets=preset.failing_sets,
+        tree_source=(
+            TREE_SOURCES.create(preset.tree_source)
+            if preset.tree_source
+            else None
+        ),
+    )
+
+
+def describe_preset(preset: PresetDef) -> Dict[str, str]:
+    """Human-readable component breakdown of one preset row.
+
+    Sourced from the same table :func:`build_spec` consumes, so the CLI
+    listing can never drift from what actually runs.
+    """
+    return {
+        "name": preset.name,
+        "filter": preset.filter or "-",
+        "ordering": preset.ordering,
+        "lc": preset.lc,
+        "aux": preset.aux_scope,
+        "adaptive": "yes" if preset.adaptive else "-",
+        "failing_sets": "yes" if preset.failing_sets else "-",
+    }
+
+
+# ----------------------------------------------------------------------
+# User-registered algorithms
+# ----------------------------------------------------------------------
+
+_USER_PRESETS: Dict[str, PresetDef] = {}
+
+
+def register_algorithm(preset: PresetDef) -> None:
+    """Register a user preset, resolvable via ``match(algorithm=name)``.
+
+    Component names are checked eagerly so a typo fails at registration,
+    not at first use.
+    """
+    if preset.filter is not None and preset.filter not in FILTERS:
+        raise ConfigurationError(
+            f"preset {preset.name!r} references unknown filter {preset.filter!r}"
+        )
+    if preset.ordering not in ORDERINGS:
+        raise ConfigurationError(
+            f"preset {preset.name!r} references unknown ordering "
+            f"{preset.ordering!r}"
+        )
+    if preset.lc not in LOCAL_CANDIDATES:
+        raise ConfigurationError(
+            f"preset {preset.name!r} references unknown ComputeLC {preset.lc!r}"
+        )
+    if preset.tree_source is not None and preset.tree_source not in TREE_SOURCES:
+        raise ConfigurationError(
+            f"preset {preset.name!r} references unknown tree source "
+            f"{preset.tree_source!r}"
+        )
+    _USER_PRESETS[preset.name] = preset
+
+
+def registered_algorithms() -> Dict[str, PresetDef]:
+    """The user-registered preset rows (name → row), a copy."""
+    return dict(_USER_PRESETS)
+
+
+def get_registered_algorithm(name: str) -> Optional[PresetDef]:
+    """The user preset registered under ``name``, or ``None``."""
+    return _USER_PRESETS.get(name)

@@ -1,0 +1,311 @@
+"""MatchSession: one resident data graph, many queries, amortized state.
+
+The paper's Algorithm 1 and every figure of its evaluation run *many*
+query graphs against *one* in-memory data graph; a production matching
+service does the same at traffic scale. ``match()`` re-resolves and
+rebuilds everything per call; a :class:`MatchSession` instead owns the
+data graph plus the state that amortizes across queries:
+
+* a **plan cache** — compiled :class:`~repro.core.plan.MatchPlan` objects
+  (resolved spec + kernel + aux-scope policy), LRU-keyed by the
+  order-invariant query fingerprint so resubmitted patterns hit even
+  under a different vertex numbering;
+* a **prepared-query cache** — full preprocessing artifacts (candidates,
+  auxiliary adjacency, matching order, the resolved kernel with its warm
+  encode caches), LRU-keyed by *exact* graph equality, so repeating a
+  query skips filtering/ordering entirely and goes straight to
+  enumeration;
+* **hit/miss counters** flowing into :mod:`repro.obs` metrics — per-query
+  (``plan.cache_hit`` … on ``MatchResult.metrics``) and session-wide
+  (:attr:`MatchSession.metrics`).
+
+Usage::
+
+    session = MatchSession(data, algorithm="GQLfs")
+    for query in workload:
+        result = session.match(query)
+    results = session.match_many(more_queries)   # batch form
+    session.cache_info()                          # {'plan': {...}, 'prep': {...}}
+
+Sessions are single-threaded (like the algorithms themselves); use one
+session per worker for parallel workloads, as
+:mod:`repro.study.parallel` does. ``match()`` remains the one-shot
+convenience wrapper: it builds a throwaway session per call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.plan import (
+    AlgorithmLike,
+    KernelLike,
+    LRUCache,
+    MatchPlan,
+    compile_plan,
+    run_plan,
+    validate_query,
+)
+from repro.core.result import MatchResult
+from repro.core.spec import AlgorithmSpec
+from repro.graph.fingerprint import query_fingerprint
+from repro.graph.graph import Graph
+from repro.obs import Metrics
+from repro.utils.kernels import KernelBackend
+
+__all__ = ["MatchSession"]
+
+
+class MatchSession:
+    """A resident data graph plus its amortizable matching state.
+
+    Parameters
+    ----------
+    data:
+        The data graph this session serves. Immutable (as all graphs
+        are), so every cache below remains valid for the session's life.
+    algorithm:
+        Default algorithm for :meth:`match` calls that don't name one.
+    kernel:
+        Default intersection-backend request (see
+        :func:`repro.core.api.match`); per-call ``kernel=`` wins.
+    plan_cache_size:
+        LRU capacity for compiled plans (``None`` unbounded, ``0`` off).
+    prep_cache_size:
+        LRU capacity for prepared queries (``None`` unbounded, ``0``
+        off). Disable for measurement harnesses that must observe real
+        preprocessing on every query, as the study runners do.
+    record_cache_metrics:
+        Attach per-query ``plan.cache_hit`` / ``plan.cache_miss`` (and
+        ``plan.prep_hit`` / ``plan.prep_miss`` when the prep cache is on)
+        counters to each result's metrics. The back-compat one-shot
+        ``match()`` disables this so its results stay byte-identical to
+        the pre-session pipeline.
+    """
+
+    def __init__(
+        self,
+        data: Graph,
+        algorithm: AlgorithmLike = "recommended",
+        kernel: Optional[KernelLike] = None,
+        plan_cache_size: Optional[int] = 256,
+        prep_cache_size: Optional[int] = 64,
+        record_cache_metrics: bool = True,
+    ) -> None:
+        self.data = data
+        self.algorithm = algorithm
+        self.kernel = kernel
+        self.record_cache_metrics = record_cache_metrics
+        self._plans = LRUCache(plan_cache_size)
+        self._prep = LRUCache(prep_cache_size)
+        #: Session-wide counters: queries served and cache hits/misses,
+        #: in the same :class:`~repro.obs.Metrics` currency the study
+        #: aggregates, so they merge into any report.
+        self.metrics = Metrics()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _algorithm_key(algorithm: AlgorithmLike):
+        # Specs are frozen dataclasses (hashable by field identity);
+        # names are strings. Either is a sound cache-key component.
+        return algorithm if isinstance(algorithm, (str, AlgorithmSpec)) else repr(algorithm)
+
+    @staticmethod
+    def _kernel_key(kernel: Optional[KernelLike]):
+        if kernel is None or isinstance(kernel, str):
+            return kernel
+        if isinstance(kernel, KernelBackend):
+            # A concrete backend instance is its own policy.
+            return id(kernel)
+        return repr(kernel)
+
+    def compile(
+        self,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike] = None,
+        kernel: Optional[KernelLike] = None,
+    ) -> Tuple[MatchPlan, bool]:
+        """Resolve (or fetch) the plan for ``query``; returns (plan, hit).
+
+        The cache key is ``(algorithm, kernel policy, fingerprint)`` —
+        order-invariant in the query, so isomorphic renumberings share a
+        slot.
+        """
+        algo = self.algorithm if algorithm is None else algorithm
+        kern = self.kernel if kernel is None else kernel
+        fingerprint = query_fingerprint(query)
+        key = (self._algorithm_key(algo), self._kernel_key(kern), fingerprint)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan, True
+        plan = compile_plan(
+            algo, query, self.data, kernel=kern, fingerprint=fingerprint
+        )
+        self._plans.put(key, plan)
+        return plan, False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike] = None,
+        match_limit: Optional[int] = 100_000,
+        time_limit: Optional[float] = None,
+        store_limit: int = 10_000,
+        validate: bool = True,
+        kernel: Optional[KernelLike] = None,
+    ) -> MatchResult:
+        """Find matches of ``query`` in this session's data graph.
+
+        Same contract as :func:`repro.core.api.match`, minus the ``data``
+        argument (the session owns it) — plus the session's caches:
+        a repeated query (exact or renumbered) reuses its compiled plan,
+        and an exactly repeated query skips preprocessing outright.
+        """
+        if validate:
+            validate_query(query)
+        algo = self.algorithm if algorithm is None else algorithm
+        kern = self.kernel if kernel is None else kernel
+
+        plan, plan_hit = self.compile(query, algorithm=algo, kernel=kern)
+
+        prep_enabled = self._prep.capacity != 0
+        prep_key = None
+        prepared = None
+        if prep_enabled:
+            # Exact-graph key: Graph hashes/compares its label and CSR
+            # arrays, so only a byte-identical query reuses artifacts.
+            prep_key = (self._algorithm_key(algo), self._kernel_key(kern), query)
+            prepared = self._prep.get(prep_key)
+        prep_hit = prepared is not None
+
+        metrics = Metrics()
+        if self.record_cache_metrics:
+            metrics.add("plan.cache_hit", int(plan_hit))
+            metrics.add("plan.cache_miss", int(not plan_hit))
+            if prep_enabled:
+                metrics.add("plan.prep_hit", int(prep_hit))
+                metrics.add("plan.prep_miss", int(not prep_hit))
+
+        result, prepared = run_plan(
+            plan,
+            query,
+            self.data,
+            prepared=prepared,
+            match_limit=match_limit,
+            time_limit=time_limit,
+            store_limit=store_limit,
+            metrics=metrics,
+        )
+        if prep_enabled and not prep_hit:
+            self._prep.put(prep_key, prepared)
+
+        self.metrics.add("session.queries")
+        self.metrics.add("session.plan_cache_hits", int(plan_hit))
+        self.metrics.add("session.plan_cache_misses", int(not plan_hit))
+        if prep_enabled:
+            self.metrics.add("session.prep_cache_hits", int(prep_hit))
+            self.metrics.add("session.prep_cache_misses", int(not prep_hit))
+        return result
+
+    def match_many(
+        self,
+        queries: Iterable[Graph],
+        algorithm: Optional[AlgorithmLike] = None,
+        match_limit: Optional[int] = 100_000,
+        time_limit: Optional[float] = None,
+        store_limit: int = 10_000,
+        validate: bool = True,
+        kernel: Optional[KernelLike] = None,
+    ) -> List[MatchResult]:
+        """Batch :meth:`match` over ``queries`` (results in input order).
+
+        This is the repeated-query throughput path: every duplicate
+        pattern after the first reuses its plan, and exact duplicates
+        skip preprocessing entirely.
+        """
+        return [
+            self.match(
+                query,
+                algorithm=algorithm,
+                match_limit=match_limit,
+                time_limit=time_limit,
+                store_limit=store_limit,
+                validate=validate,
+                kernel=kernel,
+            )
+            for query in queries
+        ]
+
+    def count_matches(
+        self,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike] = None,
+        match_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        store_limit: int = 0,
+        validate: bool = True,
+        kernel: Optional[KernelLike] = None,
+    ) -> int:
+        """Number of matches (all of them by default); stores no embeddings."""
+        return self.match(
+            query,
+            algorithm=algorithm,
+            match_limit=match_limit,
+            time_limit=time_limit,
+            store_limit=store_limit,
+            validate=validate,
+            kernel=kernel,
+        ).num_matches
+
+    def has_match(
+        self,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike] = None,
+        time_limit: Optional[float] = None,
+        validate: bool = True,
+        kernel: Optional[KernelLike] = None,
+    ) -> bool:
+        """Whether at least one match exists (stops at the first)."""
+        return (
+            self.match(
+                query,
+                algorithm=algorithm,
+                match_limit=1,
+                time_limit=time_limit,
+                store_limit=0,
+                validate=validate,
+                kernel=kernel,
+            ).num_matches
+            > 0
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Hit/miss/size/capacity for both caches."""
+        return {"plan": self._plans.info(), "prep": self._prep.info()}
+
+    def clear_caches(self) -> None:
+        """Drop all cached plans and prepared queries (counters persist)."""
+        self._plans.clear()
+        self._prep.clear()
+
+    def __repr__(self) -> str:
+        served = self.metrics.counters.get("session.queries", 0)
+        algo = (
+            self.algorithm
+            if isinstance(self.algorithm, str)
+            else self.algorithm.name
+        )
+        return (
+            f"MatchSession({self.data!r}, algorithm={algo!r}, queries={served})"
+        )

@@ -10,9 +10,12 @@ This package provides everything the matching algorithms consume:
   label assigners,
 * :mod:`~repro.graph.query_gen` — random-walk query extraction producing the
   dense/sparse query sets of the paper's Table 4,
-* :mod:`~repro.graph.ops` — 2-core, BFS trees and related structure helpers.
+* :mod:`~repro.graph.ops` — 2-core, BFS trees and related structure helpers,
+* :mod:`~repro.graph.fingerprint` — order-invariant query fingerprints for
+  the plan cache of :class:`~repro.core.session.MatchSession`.
 """
 
+from repro.graph.fingerprint import query_fingerprint, vertex_signatures
 from repro.graph.graph import Graph
 from repro.graph.io import load_graph, loads_graph, save_graph, dumps_graph
 from repro.graph.generators import (
@@ -32,6 +35,8 @@ from repro.graph.ops import bfs_tree, connected, core_vertices, two_core
 
 __all__ = [
     "Graph",
+    "query_fingerprint",
+    "vertex_signatures",
     "load_graph",
     "loads_graph",
     "save_graph",

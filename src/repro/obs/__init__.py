@@ -33,9 +33,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.schema import (
     BENCH_KERNELS_SCHEMA_VERSION,
+    BENCH_SESSION_SCHEMA_VERSION,
     TRACE_SCHEMA,
     TraceSchemaError,
     validate_bench_kernels,
+    validate_bench_session,
     validate_trace_file,
     validate_trace_lines,
     validate_trace_record,
@@ -69,8 +71,10 @@ __all__ = [
     # schema
     "TRACE_SCHEMA",
     "BENCH_KERNELS_SCHEMA_VERSION",
+    "BENCH_SESSION_SCHEMA_VERSION",
     "TraceSchemaError",
     "validate_bench_kernels",
+    "validate_bench_session",
     "validate_trace_file",
     "validate_trace_lines",
     "validate_trace_record",

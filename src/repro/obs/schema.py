@@ -19,6 +19,11 @@ dependency):
 * **BENCH_kernels.json** (``benchmarks/bench_kernels.py``): the kernel
   shoot-out payload, stamped with ``schema_version`` and the resolved
   backend name per registry entry.
+
+* **BENCH_session.json** (``benchmarks/bench_session.py``): the
+  session-throughput payload — one-shot ``match()`` vs
+  :class:`~repro.core.session.MatchSession` batch latency on a
+  repeated-query workload, with the session's cache counters.
 """
 
 from __future__ import annotations
@@ -34,6 +39,8 @@ __all__ = [
     "validate_trace_lines",
     "validate_trace_file",
     "validate_bench_kernels",
+    "BENCH_SESSION_SCHEMA_VERSION",
+    "validate_bench_session",
 ]
 
 #: Identifier stamped into every trace header line.
@@ -41,6 +48,9 @@ TRACE_SCHEMA = "repro.trace/v1"
 
 #: Version stamped into BENCH_kernels.json payloads.
 BENCH_KERNELS_SCHEMA_VERSION = 2
+
+#: Version stamped into BENCH_session.json payloads.
+BENCH_SESSION_SCHEMA_VERSION = 1
 
 #: Span end may precede a parent's end by this much (float timer jitter).
 _NEST_SLACK = 1e-9
@@ -207,3 +217,66 @@ def validate_bench_kernels(payload: Dict[str, Any]) -> None:
             isinstance(value, (int, float)) and value > 0,
             f"{key} must be a positive number",
         )
+
+
+def validate_bench_session(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_session.json payload against the current schema."""
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_SESSION_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_SESSION_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "session-throughput",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+    _require(
+        isinstance(payload.get("algorithm"), str) and payload["algorithm"],
+        "algorithm must be a non-empty string",
+    )
+    workload = payload.get("workload")
+    _require(isinstance(workload, dict), "workload must be an object")
+    for key in ("data_vertices", "distinct_queries", "repeats", "total_queries"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"workload.{key} must be a positive int",
+        )
+    _require(
+        workload["total_queries"]
+        == workload["distinct_queries"] * workload["repeats"],
+        "workload.total_queries must equal distinct_queries * repeats",
+    )
+    for mode in ("one_shot", "session"):
+        stats = payload.get(mode)
+        _require(isinstance(stats, dict), f"{mode} must be an object")
+        for key in ("seconds_total", "seconds_per_query"):
+            _require(
+                isinstance(stats.get(key), (int, float)) and stats[key] > 0,
+                f"{mode}.{key} must be a positive number",
+            )
+    _require(
+        isinstance(payload.get("speedup_session_vs_one_shot"), (int, float))
+        and payload["speedup_session_vs_one_shot"] > 0,
+        "speedup_session_vs_one_shot must be a positive number",
+    )
+    cache = payload.get("cache")
+    _require(isinstance(cache, dict), "cache must be an object")
+    for which in ("plan", "prep"):
+        info = cache.get(which)
+        _require(isinstance(info, dict), f"cache.{which} must be an object")
+        for key in ("hits", "misses", "size"):
+            _require(
+                isinstance(info.get(key), int) and info[key] >= 0,
+                f"cache.{which}.{key} must be a non-negative int",
+            )
+        hits, misses = info["hits"], info["misses"]
+        _require(
+            hits + misses == workload["total_queries"],
+            f"cache.{which} hits+misses ({hits}+{misses}) must equal the "
+            f"{workload['total_queries']}-query workload",
+        )
+    _require(
+        payload.get("matches_agree") is True,
+        "matches_agree must be true (one-shot and session disagreed)",
+    )

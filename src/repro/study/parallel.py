@@ -21,7 +21,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence, Tuple
 
-from repro.core.api import match
+from repro.core.session import MatchSession
 from repro.glasgow.solver import glasgow_match
 from repro.graph.graph import Graph
 from repro.study.runner import (
@@ -33,9 +33,13 @@ from repro.study.runner import (
 
 __all__ = ["run_algorithm_on_set_parallel"]
 
-# Worker-process globals, set once by the pool initializer.
+# Worker-process globals, set once by the pool initializer. Each worker
+# holds one MatchSession for the shipped data graph (measurement mode:
+# no preprocessing reuse, no cache counters — records must match the
+# sequential runner's byte for byte); GLW runs have no session.
 _WORKER_DATA: Optional[Graph] = None
 _WORKER_ALGORITHM: Optional[str] = None
+_WORKER_SESSION: Optional[MatchSession] = None
 _WORKER_LIMITS: Tuple[Optional[int], Optional[float]] = (None, None)
 
 
@@ -45,9 +49,19 @@ def _init_worker(
     match_limit: Optional[int],
     time_limit: Optional[float],
 ) -> None:
-    global _WORKER_DATA, _WORKER_ALGORITHM, _WORKER_LIMITS
+    global _WORKER_DATA, _WORKER_ALGORITHM, _WORKER_SESSION, _WORKER_LIMITS
     _WORKER_DATA = data
     _WORKER_ALGORITHM = algorithm
+    _WORKER_SESSION = (
+        None
+        if algorithm == "GLW"
+        else MatchSession(
+            data,
+            algorithm=algorithm,
+            prep_cache_size=0,
+            record_cache_metrics=False,
+        )
+    )
     _WORKER_LIMITS = (match_limit, time_limit)
 
 
@@ -55,7 +69,7 @@ def _run_one(task: Tuple[int, Graph]) -> QueryRecord:
     index, query = task
     assert _WORKER_DATA is not None and _WORKER_ALGORITHM is not None
     match_limit, time_limit = _WORKER_LIMITS
-    if _WORKER_ALGORITHM == "GLW":
+    if _WORKER_SESSION is None:
         result = glasgow_match(
             query,
             _WORKER_DATA,
@@ -64,10 +78,8 @@ def _run_one(task: Tuple[int, Graph]) -> QueryRecord:
             store_limit=0,
         )
     else:
-        result = match(
+        result = _WORKER_SESSION.match(
             query,
-            _WORKER_DATA,
-            algorithm=_WORKER_ALGORITHM,
             match_limit=match_limit,
             time_limit=time_limit,
             store_limit=0,

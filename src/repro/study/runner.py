@@ -20,7 +20,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.api import match
+from repro.core.session import MatchSession
 from repro.core.spec import AlgorithmSpec
 from repro.glasgow.solver import glasgow_match
 from repro.graph.graph import Graph
@@ -201,6 +201,12 @@ def run_algorithm_on_set(
     :class:`AlgorithmSpec`, or ``"GLW"`` for the Glasgow solver.
     ``kernel`` pins the intersection backend for every query (default:
     ``REPRO_KERNEL`` / auto heuristic).
+
+    The whole set runs through one :class:`~repro.core.session.MatchSession`
+    in measurement mode: the plan cache amortizes spec/kernel resolution,
+    but preprocessing reuse and cache counters are off so every query's
+    recorded preprocessing time and metrics are exactly what a standalone
+    ``match()`` would report.
     """
     if match_limit is None:
         match_limit = default_match_limit()
@@ -213,8 +219,19 @@ def run_algorithm_on_set(
         query_set_label=query_set_label,
         time_limit=time_limit,
     )
+    session = (
+        None
+        if algorithm == "GLW"
+        else MatchSession(
+            data,
+            algorithm=algorithm,
+            kernel=kernel,
+            prep_cache_size=0,
+            record_cache_metrics=False,
+        )
+    )
     for index, query in enumerate(queries):
-        if algorithm == "GLW":
+        if session is None:
             result = glasgow_match(
                 query,
                 data,
@@ -223,15 +240,12 @@ def run_algorithm_on_set(
                 store_limit=0,
             )
         else:
-            result = match(
+            result = session.match(
                 query,
-                data,
-                algorithm=algorithm,
                 match_limit=match_limit,
                 time_limit=time_limit,
                 store_limit=0,
                 validate=False,
-                kernel=kernel,
             )
         summary.records.append(
             QueryRecord(

@@ -195,6 +195,23 @@ class TestInfoCommands:
         assert "GQLfs" in out
         assert "GLW" in out
 
+    def test_algorithms_shows_component_breakdown(self, capsys):
+        from repro.core import algorithm_components, available_algorithms
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for column in ("filter", "ordering", "ComputeLC", "failing sets"):
+            assert column in out
+        # Every preset row carries its registry-sourced components.
+        for name in available_algorithms():
+            parts = algorithm_components(name)
+            row = next(
+                line for line in out.splitlines()
+                if line.split("|")[0].strip() == name
+            )
+            for key in ("filter", "ordering", "lc", "aux"):
+                assert parts[key] in row, (name, key)
+
     def test_datasets_table(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out

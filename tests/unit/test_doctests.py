@@ -12,6 +12,7 @@ import repro.core.verify
 import repro.enumeration.streaming
 import repro.extensions.compression
 import repro.filtering.graphql
+import repro.graph.fingerprint
 import repro.graph.graph
 import repro.graph.io
 import repro.study.reporting
@@ -22,6 +23,7 @@ import repro.applications.containment
 
 MODULES = [
     repro.graph.graph,
+    repro.graph.fingerprint,
     repro.graph.io,
     repro.utils.intersection,
     repro.utils.kernels,
