@@ -8,6 +8,7 @@ Commands:
 * ``extract-query``  — extract a random-walk query from a data graph
 * ``datasets``       — list (or materialize) the paper's dataset stand-ins
 * ``algorithms``     — list the available presets
+* ``fuzz``           — differential fuzzing with planted ground truth
 """
 
 from __future__ import annotations
@@ -115,6 +116,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_datasets.add_argument("--output", "-o", default=None)
 
     sub.add_parser("algorithms", help="list the available presets")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: planted-embedding cases across all "
+        "presets, kernels, sessions and oracles",
+    )
+    p_fuzz.add_argument(
+        "--cases", type=int, default=200,
+        help="number of planted cases to generate (default 200)",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock box for the whole run (default unbounded)",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", default=None,
+        help="directory for shrunk JSON repro files (and --replay input)",
+    )
+    p_fuzz.add_argument(
+        "--replay", action="store_true",
+        help="replay the repro files in --corpus-dir instead of fuzzing",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="write repro files without minimizing them first",
+    )
+    p_fuzz.add_argument(
+        "--max-failures", type=int, default=10,
+        help="stop after this many divergent cases (default 10)",
+    )
     return parser
 
 
@@ -289,6 +321,42 @@ def _cmd_algorithms() -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import replay_corpus, run_fuzz
+
+    if args.replay:
+        if args.corpus_dir is None:
+            print("error: --replay requires --corpus-dir", file=sys.stderr)
+            return 2
+        results = replay_corpus(args.corpus_dir)
+        if not results:
+            print(f"no repro files in {args.corpus_dir}")
+            return 0
+        regressions = 0
+        for path, reproduces in results:
+            status = "REPRODUCES" if reproduces else "fixed"
+            regressions += int(reproduces)
+            print(f"{status:>10}  {path}")
+        print(f"replayed {len(results)} repro(s), {regressions} regression(s)")
+        return 1 if regressions else 0
+
+    report = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        max_seconds=args.max_seconds,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+    )
+    print(report.summary())
+    for divergence in report.divergences:
+        print(f"  [{divergence.kind}] seed={divergence.seed}: "
+              f"{divergence.detail}")
+    for path in report.repro_files:
+        print(f"  repro written: {path}")
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -299,6 +367,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "extract-query": lambda: _cmd_extract_query(args),
         "datasets": lambda: _cmd_datasets(args),
         "algorithms": _cmd_algorithms,
+        "fuzz": lambda: _cmd_fuzz(args),
     }
     return handlers[args.command]()
 

@@ -1,0 +1,117 @@
+"""Case minimization: shrink a failing pair while the divergence holds.
+
+A fuzz finding on a 40-vertex background is a chore to debug; the same
+divergence on 8 vertices is usually obvious. The shrinker is a greedy
+delta-debugger over three move classes, applied to fixpoint:
+
+1. delete one **data vertex** (induced subgraph on the rest),
+2. delete one **data edge**,
+3. delete one **query vertex** (only while the query stays connected
+   with ≥ 3 vertices, the framework's precondition).
+
+Each move is kept iff :func:`repro.qa.differential.divergence_reproduces`
+still fires on the mutated pair — the same predicate corpus replay uses,
+so whatever the shrinker outputs is replayable by construction. Graph
+immutability keeps this simple: every move builds a fresh
+:class:`~repro.graph.graph.Graph`, and a rejected move costs nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.ops import connected
+from repro.qa.differential import divergence_reproduces
+
+__all__ = ["shrink_case"]
+
+
+def _without_data_vertex(data: Graph, v: int) -> Graph:
+    kept = [u for u in data.vertices() if u != v]
+    return data.induced_subgraph(kept)[0]
+
+
+def _without_edge(graph: Graph, drop: Tuple[int, int]) -> Graph:
+    edges = [e for e in graph.edges() if e != drop]
+    return Graph(labels=graph.labels.tolist(), edges=edges)
+
+
+def _without_query_vertex(query: Graph, v: int) -> Optional[Graph]:
+    if query.num_vertices <= 3:
+        return None
+    kept = [u for u in query.vertices() if u != v]
+    shrunk = query.induced_subgraph(kept)[0]
+    if not connected(shrunk):
+        return None
+    return shrunk
+
+
+def shrink_case(
+    record: Dict,
+    query: Graph,
+    data: Graph,
+    max_seconds: Optional[float] = 30.0,
+    max_rounds: int = 8,
+) -> Tuple[Graph, Graph, int]:
+    """Minimize ``(query, data)`` while ``record``'s divergence reproduces.
+
+    Returns ``(query, data, moves_applied)``. The inputs are returned
+    unchanged when the divergence does not reproduce on them (nothing to
+    shrink against) or the time budget is exhausted immediately.
+    """
+    if not divergence_reproduces(record, query, data):
+        return query, data, 0
+
+    deadline = (
+        time.perf_counter() + max_seconds if max_seconds is not None else None
+    )
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
+    applied = 0
+    for _ in range(max_rounds):
+        progressed = False
+
+        # Pass 1: data vertices, highest id first so deletions do not
+        # disturb the ids of vertices not yet tried this pass.
+        v = data.num_vertices - 1
+        while v >= 0 and data.num_vertices > 1:
+            if out_of_time():
+                return query, data, applied
+            candidate = _without_data_vertex(data, v)
+            if divergence_reproduces(record, query, candidate):
+                data = candidate
+                applied += 1
+                progressed = True
+            v -= 1
+
+        # Pass 2: data edges.
+        for edge in list(data.edges()):
+            if out_of_time():
+                return query, data, applied
+            candidate = _without_edge(data, edge)
+            if divergence_reproduces(record, query, candidate):
+                data = candidate
+                applied += 1
+                progressed = True
+
+        # Pass 3: query vertices (connectivity- and size-guarded).
+        v = query.num_vertices - 1
+        while v >= 0:
+            if out_of_time():
+                return query, data, applied
+            candidate_q = _without_query_vertex(query, v)
+            if candidate_q is not None and divergence_reproduces(
+                record, candidate_q, data
+            ):
+                query = candidate_q
+                applied += 1
+                progressed = True
+            v -= 1
+
+        if not progressed:
+            break
+    return query, data, applied

@@ -46,3 +46,55 @@ def _run(hash_seed: str) -> str:
 
 def test_identical_across_hash_seeds():
     assert _run("0") == _run("12345")
+
+
+class TestSessionEmbeddingOrder:
+    """MatchSession.match must emit embeddings in one canonical order.
+
+    The QA differential runner compares embedding *lists*, not just sets,
+    for the session and edge-shuffle checks — so the order must be
+    identical across kernel backends and across plan/prep cache hit vs
+    miss (a cache hit swaps in a previously-compiled plan; it must not
+    perturb enumeration order).
+    """
+
+    def _session_case(self):
+        from repro.graph import extract_query, rmat_graph
+
+        data = rmat_graph(200, 6.0, 4, seed=9)
+        query = extract_query(data, 5, seed=4)
+        return query, data
+
+    def test_order_identical_across_kernels(self):
+        from repro.core import MatchSession
+
+        query, data = self._session_case()
+        reference = None
+        for kernel in ["scalar", "numpy", "bitset", "qfilter"]:
+            session = MatchSession(data, kernel=kernel)
+            result = session.match(query, algorithm="CECI", match_limit=None)
+            embeddings = list(result.embeddings)
+            if reference is None:
+                reference = embeddings
+            else:
+                assert embeddings == reference, f"{kernel} reordered output"
+
+    def test_order_identical_cache_hit_vs_miss(self):
+        from repro.core import MatchSession
+
+        query, data = self._session_case()
+        session = MatchSession(data)
+        miss = session.match(query, algorithm="GQL-opt", match_limit=None)
+        hit = session.match(query, algorithm="GQL-opt", match_limit=None)
+        assert list(hit.embeddings) == list(miss.embeddings)
+        assert hit.num_matches == miss.num_matches
+
+    def test_session_matches_oneshot_order(self):
+        from repro.core import MatchSession, match
+
+        query, data = self._session_case()
+        session = MatchSession(data)
+        in_session = session.match(query, algorithm="GQL-opt",
+                                   match_limit=None)
+        oneshot = match(query, data, algorithm="GQL-opt", match_limit=None)
+        assert list(in_session.embeddings) == list(oneshot.embeddings)

@@ -1,0 +1,124 @@
+"""End-to-end fuzz harness acceptance: catch, shrink, and replay a bug.
+
+The central claim of the QA subsystem is not "healthy code fuzzes clean"
+(also tested here) but "a real kernel bug is *caught*, *shrunk* to a
+debuggable size, and *replayable* from the JSON repro it leaves behind".
+We inject a classic off-by-one into ``NumpyKernel.intersect`` — dropping
+the largest element of any intersection with two or more hits — and
+require the whole pipeline to fire.
+"""
+
+import json
+
+import pytest
+
+from repro.qa import load_repro, plant_case, replay_repro, run_case, run_fuzz
+from repro.utils.kernels import NumpyKernel
+
+#: Presets trimmed to keep the healthy smoke run fast; the kernel sweep
+#: (which the injected bug must trip) is always part of run_case.
+SMOKE_RUN_OPTIONS = dict(presets=["GQL", "CECI", "recommended"])
+
+
+@pytest.fixture
+def broken_numpy_kernel(monkeypatch):
+    """Mutate NumpyKernel.intersect: silently drop the largest element."""
+    real = NumpyKernel.intersect
+
+    def buggy(self, a, b):
+        result = real(self, a, b)
+        if len(result) >= 2:
+            return result[:-1]
+        return result
+
+    monkeypatch.setattr(NumpyKernel, "intersect", buggy)
+
+
+class TestHealthyRun:
+    def test_short_fuzz_is_clean(self, tmp_path):
+        report = run_fuzz(
+            cases=12,
+            seed=7,
+            corpus_dir=str(tmp_path),
+            run_options=SMOKE_RUN_OPTIONS,
+        )
+        assert report.clean, report.summary()
+        assert report.cases_run == 12
+        assert report.repro_files == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_time_box_respected(self):
+        report = run_fuzz(cases=10_000, seed=0, max_seconds=1.0,
+                          run_options=SMOKE_RUN_OPTIONS)
+        assert report.time_boxed
+        assert report.cases_run < 10_000
+
+
+class TestInjectedKernelBug:
+    def test_bug_is_caught_and_shrunk(self, tmp_path, broken_numpy_kernel):
+        report = run_fuzz(
+            cases=40,
+            seed=7,
+            corpus_dir=str(tmp_path),
+            max_failures=1,
+            run_options=SMOKE_RUN_OPTIONS,
+        )
+        assert not report.clean, "injected kernel bug went undetected"
+        assert report.repro_files, "no repro file written for the bug"
+
+        record = load_repro(report.repro_files[0])
+        # The divergence must implicate the numpy kernel specifically.
+        configs = [record["config_a"], record.get("config_b") or {}]
+        assert any(c.get("kernel") == "numpy" for c in configs), configs
+        # Shrunk to a debuggable size (acceptance bound: <= 12 vertices).
+        assert len(record["data"]["labels"]) <= 12, (
+            "shrinker left a repro of "
+            f"{len(record['data']['labels'])} data vertices"
+        )
+        # With the bug still active the repro reproduces ...
+        assert replay_repro(record) is True
+
+    def test_repro_is_fixed_by_reverting_the_bug(self, tmp_path):
+        with pytest.MonkeyPatch.context() as mp:
+            real = NumpyKernel.intersect
+
+            def buggy(self, a, b):
+                result = real(self, a, b)
+                return result[:-1] if len(result) >= 2 else result
+
+            mp.setattr(NumpyKernel, "intersect", buggy)
+            report = run_fuzz(
+                cases=40,
+                seed=7,
+                corpus_dir=str(tmp_path),
+                max_failures=1,
+                run_options=SMOKE_RUN_OPTIONS,
+            )
+            assert report.repro_files
+            record = load_repro(report.repro_files[0])
+            assert replay_repro(record) is True
+
+        # Patch reverted == bug fixed: the same repro now replays clean.
+        assert replay_repro(record) is False
+
+    def test_repro_file_is_plain_json(self, tmp_path, broken_numpy_kernel):
+        report = run_fuzz(
+            cases=40,
+            seed=7,
+            corpus_dir=str(tmp_path),
+            max_failures=1,
+            run_options=SMOKE_RUN_OPTIONS,
+        )
+        with open(report.repro_files[0], "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        assert record["schema"] == "repro.qa/v1"
+        assert record["kind"] in ("count_mismatch", "set_mismatch",
+                                  "missing_planted")
+
+
+class TestRunCaseDirect:
+    def test_planted_case_clean_across_full_matrix(self):
+        # One full-matrix run (all ~24 presets, all kernels, session,
+        # oracles, metamorphic transforms) on a small case.
+        case = plant_case(123, max_data=20)
+        assert run_case(case) == []

@@ -63,6 +63,72 @@ class TestPaperFixture:
             assert all(type(v) is int for v in emb)
 
 
+class TestEdgeCaseParity:
+    """All four backends on the degenerate inputs that break off-by-ones.
+
+    ``intersect``/``multi_intersect`` must agree element-for-element on
+    empty arrays, single-element arrays, and disjoint ranges — the inputs
+    where galloping thresholds, word boundaries and early-exit paths are
+    most likely to diverge.
+    """
+
+    CASES = [
+        ("both-empty", [], []),
+        ("left-empty", [], [1, 2, 3]),
+        ("right-empty", [0, 5, 9], []),
+        ("single-hit", [4], [4]),
+        ("single-miss", [4], [5]),
+        ("single-vs-many", [63], [0, 63, 64, 127, 128]),
+        ("disjoint-low-high", [0, 1, 2], [100, 200, 300]),
+        ("disjoint-interleaved", [0, 2, 4, 6], [1, 3, 5, 7]),
+        ("identical", [1, 64, 65, 128], [1, 64, 65, 128]),
+        ("word-boundary", [63, 64, 127, 128], [64, 128]),
+        ("gallop-skew", [500], list(range(1000))),
+    ]
+
+    @pytest.mark.parametrize("label,a,b", CASES, ids=[c[0] for c in CASES])
+    def test_intersect_agrees(self, label, a, b):
+        from repro.utils.kernels import get_kernel
+
+        expected = sorted(set(a) & set(b))
+        for name in KERNELS:
+            got = [int(x) for x in get_kernel(name).intersect(a, b)]
+            assert got == expected, f"{name} wrong on {label}"
+            # Symmetry: argument order must not matter.
+            rev = [int(x) for x in get_kernel(name).intersect(b, a)]
+            assert rev == expected, f"{name} asymmetric on {label}"
+
+    MULTI_CASES = [
+        ("one-list", [[3, 7, 9]]),
+        ("one-empty-kills-all", [[1, 2, 3], [], [2, 3, 4]]),
+        ("three-way", [[1, 2, 3, 4], [2, 3, 4, 5], [0, 3, 4]]),
+        ("disjoint-pair", [[0, 2], [1, 3], [0, 1, 2, 3]]),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,lists", MULTI_CASES, ids=[c[0] for c in MULTI_CASES]
+    )
+    def test_multi_intersect_agrees(self, label, lists):
+        from repro.utils.kernels import get_kernel
+
+        common = set(lists[0])
+        for other in lists[1:]:
+            common &= set(other)
+        expected = sorted(common)
+        for name in KERNELS:
+            got = [int(x) for x in get_kernel(name).multi_intersect(lists)]
+            assert got == expected, f"{name} wrong on {label}"
+
+    def test_multi_intersect_empty_input_rejected_everywhere(self):
+        # The zero-list intersection is the universe — unrepresentable —
+        # so every backend must refuse it the same way.
+        from repro.utils.kernels import get_kernel
+
+        for name in KERNELS:
+            with pytest.raises(ValueError, match="at least one list"):
+                get_kernel(name).multi_intersect([])
+
+
 class TestGeneratedWorkload:
     @pytest.fixture(scope="class")
     def workload(self):

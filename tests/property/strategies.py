@@ -1,13 +1,60 @@
-"""Hypothesis strategies for labeled graphs and query/data pairs."""
+"""Hypothesis strategies for labeled graphs and query/data pairs.
+
+Also home of the corpus replay fixture: :func:`corpus_records` loads the
+pinned JSON repro files under ``tests/corpus/`` (one per divergence class
+the fuzzer can emit) so property suites can replay every historical fuzz
+finding as an ``@example``-style regression.
+"""
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
 
 from hypothesis import strategies as st
 
 from repro.graph import Graph
 from repro.graph.ops import connected
 
-__all__ = ["graphs", "connected_graphs", "query_data_pairs", "sorted_int_lists"]
+__all__ = [
+    "graphs",
+    "connected_graphs",
+    "query_data_pairs",
+    "sorted_int_lists",
+    "CORPUS_DIR",
+    "corpus_records",
+    "corpus_seeds",
+]
+
+#: The pinned repro corpus checked into the repository.
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def corpus_records() -> List[Tuple[str, Dict]]:
+    """Every pinned repro record as ``(file_name, record)``.
+
+    These are replay fixtures: each file captures one divergence class
+    (shrunk by the fuzzer or pinned by hand) and must replay *clean* on a
+    healthy tree via :func:`repro.qa.corpus.replay_repro`.
+    """
+    from repro.qa.corpus import iter_corpus
+
+    return [
+        (os.path.basename(path), record)
+        for path, record in iter_corpus(str(CORPUS_DIR))
+    ]
+
+
+def corpus_seeds() -> List[int]:
+    """Generator seeds of the pinned corpus cases (for ``@example`` pins)."""
+    return sorted(
+        {
+            int(record["seed"])
+            for _, record in corpus_records()
+            if record.get("seed") is not None
+        }
+    )
 
 
 @st.composite

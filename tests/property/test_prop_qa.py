@@ -1,0 +1,115 @@
+"""Property tests for the QA harness, seeded with pinned regressions.
+
+Two layers of defense:
+
+* Hypothesis properties over random generator seeds assert the planted
+  ground truth (the embedding is genuine and every algorithm finds it)
+  and that the differential matrix stays clean. Every pinned corpus seed
+  rides along as an ``@example``, so historical fuzz findings re-run on
+  every test invocation before Hypothesis explores new ground.
+* The corpus replay suite loads each JSON repro file under
+  ``tests/corpus/`` (one per divergence class the fuzzer can emit) and
+  asserts the recorded divergence no longer reproduces.
+"""
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from strategies import corpus_records, corpus_seeds
+
+from repro.baselines import vf2_matches
+from repro.core import count_matches, verify_embedding
+from repro.graph import query_fingerprint
+from repro.qa import (
+    DIVERGENCE_KINDS,
+    apply_transform,
+    plant_case,
+    renumber_vertices,
+    replay_repro,
+    run_case,
+)
+
+SEEDS = st.integers(0, 2**20)
+
+#: A reduced-but-representative differential profile for property runs:
+#: one preset per ComputeLC family plus failing sets, full kernels/
+#: session/oracle/metamorphic coverage. The fuzz CLI runs the full table.
+QUICK_PROFILE = dict(
+    presets=["GQL", "CECI", "DP", "QSI", "RIfs", "CFL-opt", "recommended"],
+)
+
+_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _pin_corpus_seeds(test):
+    """Decorate ``test`` with one ``@example`` per pinned corpus seed."""
+    for seed in corpus_seeds():
+        test = example(seed=seed)(test)
+    return test
+
+
+@_pin_corpus_seeds
+@_SETTINGS
+@given(seed=SEEDS)
+def test_planted_embedding_is_ground_truth(seed):
+    case = plant_case(seed, max_data=24)
+    assert verify_embedding(case.query, case.data, case.planted)
+    assert case.planted in vf2_matches(case.query, case.data)
+
+
+@_pin_corpus_seeds
+@_SETTINGS
+@given(seed=SEEDS)
+def test_differential_matrix_clean(seed):
+    case = plant_case(seed, max_data=24)
+    divergences = run_case(case, **QUICK_PROFILE)
+    assert divergences == [], [d.detail for d in divergences]
+
+
+@_SETTINGS
+@given(seed=SEEDS)
+def test_counts_invariant_under_transforms(seed):
+    case = plant_case(seed, max_data=20)
+    base = count_matches(case.query, case.data, algorithm="GQL")
+    for transform in ("relabel", "renumber", "edge_shuffle"):
+        q2, d2, _ = apply_transform(transform, case.query, case.data, seed + 1)
+        assert count_matches(q2, d2, algorithm="GQL") == base, transform
+
+
+@_SETTINGS
+@given(seed=SEEDS)
+def test_query_fingerprint_invariant_under_renumber(seed):
+    case = plant_case(seed, max_data=16)
+    renumbered, _ = renumber_vertices(case.query, seed + 7)
+    assert query_fingerprint(renumbered) == query_fingerprint(case.query)
+
+
+# ----------------------------------------------------------------------
+# Corpus replay: every pinned historical divergence must stay fixed.
+# ----------------------------------------------------------------------
+
+_CORPUS = corpus_records()
+
+
+def test_corpus_covers_every_divergence_class():
+    pinned_kinds = {record["kind"] for _, record in _CORPUS}
+    assert pinned_kinds == set(DIVERGENCE_KINDS), (
+        "tests/corpus must pin one repro per divergence class; missing: "
+        f"{set(DIVERGENCE_KINDS) - pinned_kinds}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name,record", _CORPUS, ids=[name for name, _ in _CORPUS]
+)
+def test_corpus_repro_stays_fixed(name, record):
+    assert not replay_repro(record), (
+        f"{name}: the divergence recorded in this corpus file reproduces "
+        f"again — regression in {record['kind']} "
+        f"({record.get('detail', '')})"
+    )

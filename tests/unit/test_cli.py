@@ -226,3 +226,61 @@ class TestInfoCommands:
         assert main(["datasets", "--build", "ye", "-o", str(out_path)]) == 0
         g = load_graph(out_path)
         assert g.num_vertices > 0
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--cases", "3", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+        assert "3/3" in out
+
+    def test_replay_requires_corpus_dir(self, capsys):
+        assert main(["fuzz", "--replay"]) == 2
+        assert "--corpus-dir" in capsys.readouterr().err
+
+    def test_replay_empty_directory(self, tmp_path, capsys):
+        code = main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)])
+        assert code == 0
+        assert "no repro files" in capsys.readouterr().out
+
+    def test_replay_pinned_corpus_is_clean(self, capsys):
+        import os
+
+        corpus = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "corpus",
+        )
+        code = main(["fuzz", "--replay", "--corpus-dir", corpus])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 regression(s)" in out
+        assert "REPRODUCES" not in out
+
+    def test_replay_flags_regression(self, tmp_path, capsys):
+        from repro.graph import Graph
+        from repro.qa.corpus import make_record, save_repro
+
+        query = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2)])
+        record = make_record(
+            kind="crash",
+            query=query,
+            data=query,
+            config_a={"algorithm": "NO-SUCH-PRESET", "kernel": None,
+                      "mode": "oneshot"},
+            detail="synthetic regression",
+        )
+        save_repro(str(tmp_path / "repro-crash-synthetic.json"), record)
+        code = main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRODUCES" in out
+        assert "1 regression(s)" in out
+
+    def test_time_boxed_run_reports_it(self, capsys):
+        code = main(["fuzz", "--cases", "100000", "--seed", "0",
+                     "--max-seconds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "time-boxed" in out

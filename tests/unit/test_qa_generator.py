@@ -1,0 +1,101 @@
+"""Unit tests for the planted-case generator and metamorphic transforms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_matches
+from repro.core import verify_embedding
+from repro.graph import Graph, query_fingerprint
+from repro.graph.ops import connected
+from repro.qa import (
+    TRANSFORMS,
+    apply_transform,
+    permute_label_alphabet,
+    plant_case,
+    renumber_vertices,
+    shuffle_edges,
+)
+from repro.qa.generator import random_query
+
+SEEDS = range(20)
+
+
+class TestPlantCase:
+    def test_deterministic(self):
+        for seed in SEEDS:
+            a, b = plant_case(seed), plant_case(seed)
+            assert a.query == b.query
+            assert a.data == b.data
+            assert a.planted == b.planted
+
+    def test_planted_is_valid_embedding(self):
+        for seed in SEEDS:
+            case = plant_case(seed)
+            assert verify_embedding(case.query, case.data, case.planted)
+
+    def test_planted_hosts_distinct(self):
+        for seed in SEEDS:
+            case = plant_case(seed)
+            assert len(set(case.planted)) == case.query.num_vertices
+
+    def test_size_bounds_respected(self):
+        for seed in SEEDS:
+            case = plant_case(seed, min_query=3, max_query=5, max_data=25)
+            assert 3 <= case.query.num_vertices <= 5
+            assert case.data.num_vertices <= 25
+            assert connected(case.query)
+
+    def test_num_labels_override(self):
+        case = plant_case(0, num_labels=2)
+        assert case.num_labels == 2
+        assert int(case.data.labels.max()) < 2
+
+    def test_random_query_connected(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            query = random_query(rng, 6, 3)
+            assert connected(query)
+            assert query.num_vertices == 6
+
+
+class TestTransforms:
+    def test_relabel_preserves_matches(self):
+        case = plant_case(3, max_data=16)
+        q2, d2 = permute_label_alphabet(99, case.query, case.data)
+        assert brute_force_matches(q2, d2) == brute_force_matches(
+            case.query, case.data
+        )
+
+    def test_renumber_maps_matches_through_perm(self):
+        case = plant_case(4, max_data=16)
+        d2, perm = renumber_vertices(case.data, 7)
+        expected = {
+            tuple(perm[v] for v in emb)
+            for emb in brute_force_matches(case.query, case.data)
+        }
+        assert brute_force_matches(case.query, d2) == expected
+
+    def test_renumber_preserves_query_fingerprint(self):
+        case = plant_case(5)
+        renumbered, _ = renumber_vertices(case.query, 11)
+        assert query_fingerprint(renumbered) == query_fingerprint(case.query)
+
+    def test_edge_shuffle_builds_equal_graph(self):
+        case = plant_case(6)
+        assert shuffle_edges(case.data, 13) == case.data
+        assert shuffle_edges(case.query, 13) == case.query
+
+    def test_apply_transform_dispatch(self):
+        case = plant_case(8, max_data=16)
+        for name in TRANSFORMS:
+            q2, d2, perm = apply_transform(name, case.query, case.data, 17)
+            assert isinstance(q2, Graph) and isinstance(d2, Graph)
+            if name == "renumber":
+                assert sorted(perm) == list(case.data.vertices())
+            else:
+                assert perm is None
+
+    def test_apply_transform_unknown_name(self):
+        case = plant_case(0)
+        with pytest.raises(ValueError, match="unknown transform"):
+            apply_transform("mirror", case.query, case.data, 0)

@@ -1,0 +1,75 @@
+"""Unit tests for the delta-debugging case shrinker."""
+
+from repro.graph import Graph
+from repro.graph.ops import connected
+from repro.qa import plant_case, shrink_case
+from repro.qa.corpus import make_record
+
+
+def _crash_record(query, data):
+    # An unknown preset raises on every input, so the "divergence"
+    # reproduces on *any* (query, data) pair — the shrinker should be able
+    # to take both graphs to their floors.
+    return make_record(
+        kind="crash",
+        query=query,
+        data=data,
+        config_a={"algorithm": "NO-SUCH-PRESET", "kernel": None,
+                  "mode": "oneshot"},
+        detail="always reproduces",
+    )
+
+
+class TestShrinkCase:
+    def test_non_reproducing_record_returned_unchanged(self):
+        case = plant_case(1, max_data=16)
+        record = make_record(
+            kind="count_mismatch",
+            query=case.query,
+            data=case.data,
+            config_a={"algorithm": "GQL", "kernel": None, "mode": "oneshot"},
+            config_b={"algorithm": "CECI", "kernel": None, "mode": "oneshot"},
+        )
+        query, data, moves = shrink_case(record, case.query, case.data)
+        assert moves == 0
+        assert query == case.query and data == case.data
+
+    def test_always_reproducing_record_shrinks_to_floor(self):
+        case = plant_case(2, max_data=20)
+        record = _crash_record(case.query, case.data)
+        query, data, moves = shrink_case(record, case.query, case.data)
+        assert moves > 0
+        # Data floor: a single isolated vertex. Query floor: 3 vertices
+        # (the framework's minimum), still connected.
+        assert data.num_vertices == 1 and data.num_edges == 0
+        assert query.num_vertices == 3
+        assert connected(query)
+
+    def test_time_box_stops_early(self):
+        case = plant_case(3, max_data=30)
+        record = _crash_record(case.query, case.data)
+        query, data, moves = shrink_case(
+            record, case.query, case.data, max_seconds=0.0
+        )
+        # The budget expires before any pass completes; inputs survive.
+        assert query == case.query and data == case.data
+        assert moves == 0
+
+    def test_edge_only_shrink(self):
+        # A record that reproduces iff the data graph has a triangle:
+        # query = labeled triangle, config crashes only through matching —
+        # emulate with crash record restricted by construction instead:
+        # use a pair where removing edges keeps the crash reproducing.
+        triangle = Graph(labels=[0, 0, 0], edges=[(0, 1), (1, 2), (0, 2)])
+        record = _crash_record(triangle, triangle)
+        query, data, moves = shrink_case(record, triangle, triangle)
+        assert moves > 0
+        assert data.num_edges == 0
+
+    def test_shrunk_pair_still_reproduces(self):
+        from repro.qa import divergence_reproduces
+
+        case = plant_case(4, max_data=20)
+        record = _crash_record(case.query, case.data)
+        query, data, _ = shrink_case(record, case.query, case.data)
+        assert divergence_reproduces(record, query, data)

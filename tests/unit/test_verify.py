@@ -42,6 +42,21 @@ class TestVerify:
         with pytest.raises(ValueError, match="every query vertex"):
             verify_embedding(PAPER_QUERY, PAPER_DATA, {0: 0, 1: 4})
 
+    def test_too_short_sequence_raises(self):
+        # PAPER_QUERY has 4 vertices; a 3-tuple is not an embedding at all.
+        with pytest.raises(ValueError, match="every query vertex"):
+            verify_embedding(PAPER_QUERY, PAPER_DATA, (0, 4, 5))
+
+    def test_too_long_sequence_raises(self):
+        with pytest.raises(ValueError, match="every query vertex"):
+            verify_embedding(PAPER_QUERY, PAPER_DATA, (0, 4, 5, 10, 11))
+
+    def test_mapping_with_foreign_keys_raises(self):
+        with pytest.raises(ValueError, match="every query vertex"):
+            verify_embedding(
+                PAPER_QUERY, PAPER_DATA, {0: 0, 1: 4, 2: 5, 7: 10}
+            )
+
     def test_success_reason_empty(self):
         embedding = next(iter(PAPER_MATCHES))
         assert explain_embedding_failure(PAPER_QUERY, PAPER_DATA, embedding) == ""
