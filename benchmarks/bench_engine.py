@@ -1,0 +1,220 @@
+"""Enumeration engines: recursive backtracker vs the iterative frame machine.
+
+The workload is a Figure 16-style repeated-enumeration sweep: one
+synthetic data graph, a pool of extracted queries, the full match cap
+(the paper's 10^5), sessions pre-warmed so preprocessing is outside the
+timed region — the measurement isolates the enumeration loop, which is
+exactly what the frame machine restructures (explicit frames, vectorized
+conflict filtering, leaf batching). Each preset/engine timing is the sum
+over ``repeats`` enumeration-only passes of the whole pool.
+
+Correctness rides along: before timing, every query runs once per engine
+with embeddings retained, and the benchmark refuses to produce a payload
+unless the engines' match counts and embedding lists are byte-identical.
+
+Run directly (``python benchmarks/bench_engine.py``) to write
+``BENCH_engine.json`` (also copied to ``benchmarks/results/``),
+schema-stamped and validated by
+:func:`repro.obs.schema.validate_bench_engine`. Flags scale the workload
+down for CI smoke runs (``--vertices 300 --queries 2 --repeats 1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone run: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import MatchSession
+from repro.graph.generators import rmat_graph
+from repro.graph.query_gen import extract_query
+from repro.obs.schema import BENCH_ENGINE_SCHEMA_VERSION, validate_bench_engine
+
+#: Defaults sized like bench_fig16_overall's regime — enumeration-bound
+#: queries on a dense unlabeled graph that hit the paper's 10^5 match
+#: cap, so the measured time is the enumeration loop itself (the piece
+#: the frame machine restructures) rather than candidate filtering.
+DEFAULT_VERTICES = 2_000
+DEFAULT_DEGREE = 64.0
+DEFAULT_LABELS = 1
+DEFAULT_QUERIES = 4
+DEFAULT_REPEATS = 3
+DEFAULT_QUERY_SIZE = 8
+DEFAULT_MATCH_LIMIT = 100_000
+DEFAULT_PRESETS = ("GQLfs", "GQL-opt")
+ENGINES = ("recursive", "iterative")
+
+
+def build_workload(
+    vertices: int,
+    num_queries: int,
+    query_size: int,
+    degree: float = DEFAULT_DEGREE,
+    labels: int = DEFAULT_LABELS,
+):
+    """One RMAT data graph plus a pool of random-walk queries."""
+    data = rmat_graph(vertices, degree, labels, seed=7, clustering=0.1)
+    pool = [
+        extract_query(data, query_size, seed=seed)
+        for seed in range(num_queries)
+    ]
+    return data, pool
+
+
+def run_engine_benchmark(
+    vertices: int = DEFAULT_VERTICES,
+    num_queries: int = DEFAULT_QUERIES,
+    repeats: int = DEFAULT_REPEATS,
+    query_size: int = DEFAULT_QUERY_SIZE,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+    presets=DEFAULT_PRESETS,
+    degree: float = DEFAULT_DEGREE,
+    labels: int = DEFAULT_LABELS,
+) -> dict:
+    """Time both engines per preset; returns the validated payload."""
+    data, pool = build_workload(
+        vertices, num_queries, query_size, degree=degree, labels=labels
+    )
+
+    preset_entries = []
+    total_seconds = {engine: 0.0 for engine in ENGINES}
+    for algorithm in presets:
+        # One session per engine, prep cache unbounded: the first pass
+        # pays filtering/ordering once per query, every timed pass after
+        # it runs enumeration only.
+        sessions = {
+            engine: MatchSession(
+                data,
+                algorithm=algorithm,
+                engine=engine,
+                plan_cache_size=None,
+                prep_cache_size=None,
+            )
+            for engine in ENGINES
+        }
+
+        # Verification pass (also the cache warm-up): embeddings must be
+        # byte-identical across engines, order included.
+        embeddings = {}
+        counts = {}
+        for engine, session in sessions.items():
+            results = [
+                session.match(
+                    query,
+                    match_limit=match_limit,
+                    store_limit=match_limit,
+                    validate=False,
+                )
+                for query in pool
+            ]
+            embeddings[engine] = [r.embeddings for r in results]
+            counts[engine] = sum(r.num_matches for r in results)
+        baseline = ENGINES[0]
+        identical = all(
+            embeddings[engine] == embeddings[baseline] for engine in ENGINES
+        )
+        if not identical:
+            raise SystemExit(
+                f"{algorithm}: engines returned different embeddings — "
+                "refusing to write a benchmark payload for a broken engine"
+            )
+
+        stats = {}
+        for engine, session in sessions.items():
+            start = time.perf_counter()
+            for _ in range(repeats):
+                for query in pool:
+                    session.match(
+                        query,
+                        match_limit=match_limit,
+                        store_limit=0,
+                        validate=False,
+                    )
+            elapsed = time.perf_counter() - start
+            stats[engine] = {
+                "seconds_total": elapsed,
+                "seconds_per_query": elapsed / (repeats * len(pool)),
+                "matches_total": counts[engine],
+            }
+            total_seconds[engine] += elapsed
+
+        preset_entries.append(
+            {
+                "algorithm": algorithm,
+                "engines": stats,
+                "speedup_iterative_vs_recursive": (
+                    stats["recursive"]["seconds_total"]
+                    / stats["iterative"]["seconds_total"]
+                ),
+                "embeddings_identical": identical,
+            }
+        )
+
+    payload = {
+        "schema_version": BENCH_ENGINE_SCHEMA_VERSION,
+        "benchmark": "engine-comparison",
+        "workload": {
+            "data_vertices": data.num_vertices,
+            "data_degree": degree,
+            "num_labels": labels,
+            "query_vertices": query_size,
+            "num_queries": num_queries,
+            "repeats": repeats,
+            "match_limit": match_limit,
+        },
+        "presets": preset_entries,
+        "overall_speedup": (
+            total_seconds["recursive"] / total_seconds["iterative"]
+        ),
+    }
+    validate_bench_engine(payload)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
+    parser.add_argument("--degree", type=float, default=DEFAULT_DEGREE)
+    parser.add_argument("--labels", type=int, default=DEFAULT_LABELS)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--query-size", type=int, default=DEFAULT_QUERY_SIZE)
+    parser.add_argument("--match-limit", type=int, default=DEFAULT_MATCH_LIMIT)
+    parser.add_argument(
+        "--presets", nargs="+", default=list(DEFAULT_PRESETS),
+        help="algorithm presets to compare the engines on",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="payload path (a copy also lands in benchmarks/results/)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_engine_benchmark(
+        vertices=args.vertices,
+        num_queries=args.queries,
+        repeats=args.repeats,
+        query_size=args.query_size,
+        match_limit=args.match_limit,
+        presets=args.presets,
+        degree=args.degree,
+        labels=args.labels,
+    )
+    payload = json.dumps(results, indent=2) + "\n"
+    out = Path(args.output)
+    out.write_text(payload)
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_engine.json").write_text(payload)
+    print(payload, end="")
+    print(f"wrote {out.resolve()}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from repro.graph import (
 )
 from repro.obs import Tracer, tracing
 from repro.study import DATASETS, format_table, load_dataset
+from repro.enumeration.engines import available_engines
 from repro.utils.kernels import available_kernels
 
 __all__ = ["main", "build_parser"]
@@ -54,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", "-k", choices=available_kernels(), default=None,
         help="intersection backend for the Algorithm 5 hot path "
         "(default: $REPRO_KERNEL, else the auto heuristic)",
+    )
+    p_match.add_argument(
+        "--engine", "-e", choices=available_engines(), default=None,
+        help="enumeration engine (default: $REPRO_ENGINE, else the "
+        "iterative frame machine)",
     )
     p_match.add_argument(
         "--show", type=int, default=3, help="embeddings to print"
@@ -84,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument(
         "--kernel", "-k", choices=available_kernels(), default=None,
         help="intersection backend used by every preset",
+    )
+    p_compare.add_argument(
+        "--engine", "-e", choices=available_engines(), default=None,
+        help="enumeration engine used by every preset",
     )
 
     p_generate = sub.add_parser("generate", help="write a synthetic data graph")
@@ -165,7 +175,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             query, data,
             algorithm=args.algorithm,
             match_limit=args.match_limit, time_limit=args.time_limit,
-            kernel=args.kernel,
+            kernel=args.kernel, engine=args.engine,
         )
 
     if tracer is not None:
@@ -177,6 +187,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"algorithm     : {result.algorithm}")
     if getattr(result, "kernel", None) is not None:
         print(f"kernel        : {result.kernel}")
+    if getattr(result, "engine", None) is not None:
+        print(f"engine        : {result.engine}")
     print(f"status        : {status}")
     print(f"matches       : {result.num_matches}")
     print(f"preprocessing : {result.preprocessing_ms:.3f} ms")
@@ -202,7 +214,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     # One session serves every preset: the data graph and kernel indexes
     # are resident once, and only the per-preset pipeline re-runs.
     session = MatchSession(
-        data, kernel=args.kernel, prep_cache_size=0, record_cache_metrics=False
+        data, kernel=args.kernel, engine=args.engine,
+        prep_cache_size=0, record_cache_metrics=False,
     )
     rows = []
     for name in args.algorithms:

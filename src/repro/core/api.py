@@ -40,6 +40,7 @@ def match(
     store_limit: int = 10_000,
     validate: bool = True,
     kernel: Optional[KernelLike] = None,
+    engine: Optional[str] = None,
 ) -> MatchResult:
     """Find matches of ``query`` in ``data``.
 
@@ -72,6 +73,13 @@ def match(
         always wins; with ``None``, a spec constructed with its own
         explicit kernel keeps it. Ignored (and recorded as ``None`` on the
         result) when the algorithm's ComputeLC is not Algorithm 5.
+    engine:
+        Enumeration engine by registry name (``"iterative"`` — the
+        default — or ``"recursive"``; see
+        :mod:`repro.enumeration.engines`). ``None`` defers to the
+        ``REPRO_ENGINE`` environment variable, falling back to the
+        registry default. Both engines produce identical results; the
+        resolved name is recorded as ``MatchResult.engine``.
 
     Examples
     --------
@@ -85,6 +93,7 @@ def match(
         data,
         algorithm=algorithm,
         kernel=kernel,
+        engine=engine,
         plan_cache_size=0,
         prep_cache_size=0,
         record_cache_metrics=False,
@@ -105,6 +114,7 @@ def count_matches(
     match_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
     kernel: Optional[KernelLike] = None,
+    engine: Optional[str] = None,
     store_limit: int = 0,
     validate: bool = True,
 ) -> int:
@@ -123,6 +133,7 @@ def count_matches(
         store_limit=store_limit,
         validate=validate,
         kernel=kernel,
+        engine=engine,
     ).num_matches
 
 
@@ -132,6 +143,7 @@ def has_match(
     algorithm: AlgorithmLike = "recommended",
     time_limit: Optional[float] = None,
     kernel: Optional[KernelLike] = None,
+    engine: Optional[str] = None,
     store_limit: int = 0,
     validate: bool = True,
 ) -> bool:
@@ -149,6 +161,7 @@ def has_match(
             store_limit=store_limit,
             validate=validate,
             kernel=kernel,
+            engine=engine,
         ).num_matches
         > 0
     )

@@ -35,7 +35,7 @@ from typing import Any, Hashable, List, Optional, Tuple, Union
 from repro.core.algorithms import resolve
 from repro.core.result import MatchResult
 from repro.core.spec import AlgorithmSpec
-from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.engines import create_engine, resolve_engine_name
 from repro.enumeration.local_candidates import IntersectionLC
 from repro.errors import InvalidQueryError
 from repro.filtering.auxiliary import AuxiliaryStructure
@@ -93,6 +93,11 @@ class MatchPlan:
     aux_scope: str
     query_vertices: int
     query_edges: int
+    #: The enumeration-engine request this plan was compiled under
+    #: (registry name or ``None`` for the env/registry default) —
+    #: resolution to a concrete engine happens at :func:`run_plan` time,
+    #: mirroring the kernel policy.
+    engine_policy: Optional[str] = None
 
     def __repr__(self) -> str:
         return (
@@ -186,6 +191,7 @@ def compile_plan(
     data: Graph,
     kernel: Optional[KernelLike] = None,
     fingerprint: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> MatchPlan:
     """Compile ``(algorithm, query, data)`` into an immutable plan.
 
@@ -203,6 +209,7 @@ def compile_plan(
         aux_scope=spec.aux_scope,
         query_vertices=query.num_vertices,
         query_edges=query.num_edges,
+        engine_policy=engine,
     )
 
 
@@ -315,12 +322,18 @@ def run_plan(
         else:
             preprocessing_seconds = 0.0
 
-        engine = BacktrackingEngine(
+        # Resolve the engine per run (the env fallback may change between
+        # calls), the same late-binding the kernel policy gets.
+        engine_name = resolve_engine_name(plan.engine_policy)
+        engine = create_engine(
+            engine_name,
             prepared.lc,
             use_failing_sets=spec.failing_sets,
             adaptive=prepared.adaptive_state,
         )
-        with span("enumerate", kernel=prepared.kernel_used) as enum_span:
+        with span(
+            "enumerate", kernel=prepared.kernel_used, engine=engine_name
+        ) as enum_span:
             outcome = engine.run(
                 query,
                 data,
@@ -357,6 +370,7 @@ def run_plan(
         # runs, so the result must not alias it.
         order=list(prepared.order) if prepared.order is not None else None,
         kernel=prepared.kernel_used,
+        engine=engine_name,
         preprocessing_seconds=preprocessing_seconds,
         enumeration_seconds=outcome.elapsed,
         candidate_average=candidate_average,

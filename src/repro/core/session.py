@@ -69,6 +69,10 @@ class MatchSession:
     kernel:
         Default intersection-backend request (see
         :func:`repro.core.api.match`); per-call ``kernel=`` wins.
+    engine:
+        Default enumeration-engine request by registry name
+        (``"iterative"``, ``"recursive"``); per-call ``engine=`` wins and
+        ``None`` defers to ``REPRO_ENGINE`` / the registry default.
     plan_cache_size:
         LRU capacity for compiled plans (``None`` unbounded, ``0`` off).
     prep_cache_size:
@@ -88,6 +92,7 @@ class MatchSession:
         data: Graph,
         algorithm: AlgorithmLike = "recommended",
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
         plan_cache_size: Optional[int] = 256,
         prep_cache_size: Optional[int] = 64,
         record_cache_metrics: bool = True,
@@ -95,6 +100,7 @@ class MatchSession:
         self.data = data
         self.algorithm = algorithm
         self.kernel = kernel
+        self.engine = engine
         self.record_cache_metrics = record_cache_metrics
         self._plans = LRUCache(plan_cache_size)
         self._prep = LRUCache(prep_cache_size)
@@ -127,22 +133,29 @@ class MatchSession:
         query: Graph,
         algorithm: Optional[AlgorithmLike] = None,
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
     ) -> Tuple[MatchPlan, bool]:
         """Resolve (or fetch) the plan for ``query``; returns (plan, hit).
 
-        The cache key is ``(algorithm, kernel policy, fingerprint)`` —
-        order-invariant in the query, so isomorphic renumberings share a
-        slot.
+        The cache key is ``(algorithm, kernel policy, engine policy,
+        fingerprint)`` — order-invariant in the query, so isomorphic
+        renumberings share a slot.
         """
         algo = self.algorithm if algorithm is None else algorithm
         kern = self.kernel if kernel is None else kernel
+        eng = self.engine if engine is None else engine
         fingerprint = query_fingerprint(query)
-        key = (self._algorithm_key(algo), self._kernel_key(kern), fingerprint)
+        key = (self._algorithm_key(algo), self._kernel_key(kern), eng, fingerprint)
         plan = self._plans.get(key)
         if plan is not None:
             return plan, True
         plan = compile_plan(
-            algo, query, self.data, kernel=kern, fingerprint=fingerprint
+            algo,
+            query,
+            self.data,
+            kernel=kern,
+            fingerprint=fingerprint,
+            engine=eng,
         )
         self._plans.put(key, plan)
         return plan, False
@@ -160,6 +173,7 @@ class MatchSession:
         store_limit: int = 10_000,
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
     ) -> MatchResult:
         """Find matches of ``query`` in this session's data graph.
 
@@ -172,8 +186,11 @@ class MatchSession:
             validate_query(query)
         algo = self.algorithm if algorithm is None else algorithm
         kern = self.kernel if kernel is None else kernel
+        eng = self.engine if engine is None else engine
 
-        plan, plan_hit = self.compile(query, algorithm=algo, kernel=kern)
+        plan, plan_hit = self.compile(
+            query, algorithm=algo, kernel=kern, engine=eng
+        )
 
         prep_enabled = self._prep.capacity != 0
         prep_key = None
@@ -181,6 +198,8 @@ class MatchSession:
         if prep_enabled:
             # Exact-graph key: Graph hashes/compares its label and CSR
             # arrays, so only a byte-identical query reuses artifacts.
+            # The engine is deliberately absent — preprocessing artifacts
+            # are engine-independent, so both engines share warm entries.
             prep_key = (self._algorithm_key(algo), self._kernel_key(kern), query)
             prepared = self._prep.get(prep_key)
         prep_hit = prepared is not None
@@ -223,6 +242,7 @@ class MatchSession:
         store_limit: int = 10_000,
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
     ) -> List[MatchResult]:
         """Batch :meth:`match` over ``queries`` (results in input order).
 
@@ -239,6 +259,7 @@ class MatchSession:
                 store_limit=store_limit,
                 validate=validate,
                 kernel=kernel,
+                engine=engine,
             )
             for query in queries
         ]
@@ -252,6 +273,7 @@ class MatchSession:
         store_limit: int = 0,
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
     ) -> int:
         """Number of matches (all of them by default); stores no embeddings."""
         return self.match(
@@ -262,6 +284,7 @@ class MatchSession:
             store_limit=store_limit,
             validate=validate,
             kernel=kernel,
+            engine=engine,
         ).num_matches
 
     def has_match(
@@ -271,6 +294,7 @@ class MatchSession:
         time_limit: Optional[float] = None,
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
     ) -> bool:
         """Whether at least one match exists (stops at the first)."""
         return (
@@ -282,6 +306,7 @@ class MatchSession:
                 store_limit=0,
                 validate=validate,
                 kernel=kernel,
+                engine=engine,
             ).num_matches
             > 0
         )

@@ -1,13 +1,25 @@
 """Enumeration: the backtracking search of Algorithm 1 (paper Section 3.3).
 
-The study's third axis. :class:`~repro.enumeration.engine.BacktrackingEngine`
-implements the shared recursion; the
+The study's third axis. Two engines implement the same semantics — the
+recursive :class:`~repro.enumeration.engine.BacktrackingEngine`
+(reference baseline) and the iterative
+:class:`~repro.enumeration.frames.FrameMachine` (default; explicit frame
+stacks, vectorized conflict filtering, leaf batching, pause/resume) —
+selected through the :mod:`~repro.enumeration.engines` registry. The
 :mod:`~repro.enumeration.local_candidates` module provides the four
 ComputeLC strategies (Algorithms 2–5); failing-sets pruning (Section 3.4)
-is a flag on the engine.
+is a flag on either engine.
 """
 
 from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.engines import (
+    DEFAULT_ENGINE,
+    available_engines,
+    create_engine,
+    register_engine,
+    resolve_engine_name,
+)
+from repro.enumeration.frames import FrameMachine, FrameSnapshot
 from repro.enumeration.local_candidates import (
     CandidateScanLC,
     IntersectionLC,
@@ -19,9 +31,19 @@ from repro.enumeration.local_candidates import (
 )
 from repro.enumeration.stats import EnumerationOutcome, EnumerationStats
 from repro.enumeration.streaming import iter_matches
+from repro.enumeration.support import AdaptiveSelector, EmbeddingStore
 
 __all__ = [
     "BacktrackingEngine",
+    "FrameMachine",
+    "FrameSnapshot",
+    "DEFAULT_ENGINE",
+    "register_engine",
+    "available_engines",
+    "resolve_engine_name",
+    "create_engine",
+    "AdaptiveSelector",
+    "EmbeddingStore",
     "LocalCandidateMethod",
     "LCContext",
     "NeighborScanLC",

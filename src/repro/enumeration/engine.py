@@ -1,4 +1,4 @@
-"""The generic backtracking engine (the paper's Algorithm 1).
+"""The recursive backtracking engine (the paper's Algorithm 1).
 
 One engine drives every algorithm in the study. It is parameterized by
 
@@ -13,11 +13,17 @@ One engine drives every algorithm in the study. It is parameterized by
 The recursion mirrors Algorithm 1 lines 4–12: select an extendable vertex,
 compute ``LC(u, M)``, loop over candidates not already used, extend and
 recurse.
+
+This engine is the *reference semantics*: the iterative
+:class:`~repro.enumeration.frames.FrameMachine` must produce byte-identical
+embeddings and identical counters, which the QA differential harness and
+the engine-parity property suite enforce. It is retained one release as
+that differential baseline (select it with ``engine="recursive"``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import BudgetExceeded
 from repro.filtering.auxiliary import AuxiliaryStructure
@@ -25,13 +31,16 @@ from repro.filtering.candidates import CandidateSets
 from repro.graph.graph import Graph
 from repro.enumeration.local_candidates import LCContext, LocalCandidateMethod
 from repro.enumeration.stats import EnumerationOutcome, EnumerationStats
+from repro.enumeration.support import (
+    DEADLINE_STRIDE,
+    AdaptiveSelector,
+    EmbeddingStore,
+    prepare_static_order,
+)
 from repro.ordering.dpiso import DPisoAdaptiveState
 from repro.utils.timer import Deadline, Timer
 
 __all__ = ["BacktrackingEngine"]
-
-#: How many Enumerate calls between cooperative deadline checks.
-_DEADLINE_STRIDE = 2048
 
 
 class _StopSearch(Exception):
@@ -51,6 +60,9 @@ class BacktrackingEngine:
         When given, ignore the static order and run DP-iso's adaptive
         extendable-vertex selection against this state.
     """
+
+    #: Registry name (see :mod:`repro.enumeration.engines`).
+    name = "recursive"
 
     def __init__(
         self,
@@ -99,17 +111,25 @@ class BacktrackingEngine:
         self._ctx = ctx
         self._stats = EnumerationStats()
         self._deadline = Deadline(time_limit) if time_limit else None
-        self._tick = _DEADLINE_STRIDE
+        self._tick = DEADLINE_STRIDE
         self._match_limit = match_limit
-        self._store_limit = store_limit
         self._num_matches = 0
-        self._stored: List[Tuple[int, ...]] = []
+        self._store = EmbeddingStore(n, store_limit)
         self._full_mask = (1 << n) - 1
 
         if self.adaptive is None:
             if order is None:
                 raise ValueError("static mode requires a matching order")
-            self._prepare_static(query, list(order), tree_parent)
+            info = prepare_static_order(query, list(order), tree_parent)
+            self._order = info.order
+            self._backward = info.backward
+            self._parent = info.parent
+            self._backward_mask = info.backward_mask
+            self._selector = None
+        else:
+            self._selector = AdaptiveSelector(
+                self.lc_method, self.adaptive, ctx, self._stats
+            )
 
         solved = True
         with Timer() as timer:
@@ -133,7 +153,7 @@ class BacktrackingEngine:
         return EnumerationOutcome(
             num_matches=self._num_matches,
             solved=solved,
-            embeddings=self._stored,
+            embeddings=self._store.as_tuples(),
             stats=self._stats,
             elapsed=timer.elapsed,
         )
@@ -142,40 +162,9 @@ class BacktrackingEngine:
     # Shared plumbing
     # ------------------------------------------------------------------
 
-    def _prepare_static(
-        self,
-        query: Graph,
-        order: List[int],
-        tree_parent: Optional[Sequence[int]],
-    ) -> None:
-        position = {u: i for i, u in enumerate(order)}
-        self._order = order
-        self._backward: List[List[int]] = []
-        self._parent: List[int] = []
-        self._backward_mask: List[int] = []
-        for i, u in enumerate(order):
-            backward = [
-                w for w in query.neighbors(u).tolist() if position[w] < i
-            ]
-            backward.sort(key=lambda w: position[w])
-            parent = -1
-            if backward:
-                parent = backward[0]
-                if tree_parent is not None and tree_parent[u] in backward:
-                    parent = tree_parent[u]
-            self._backward.append(backward)
-            self._parent.append(parent)
-            mask = 0
-            for w in backward:
-                mask |= 1 << w
-            self._backward_mask.append(mask)
-
     def _record_match(self) -> None:
         self._num_matches += 1
-        if len(self._stored) < self._store_limit:
-            # Candidates may arrive as numpy ints; store plain ints so
-            # embeddings repr/compare cleanly regardless of the kernel.
-            self._stored.append(tuple(map(int, self._ctx.mapping)))
+        self._store.append(self._ctx.mapping)
         if (
             self._match_limit is not None
             and self._num_matches >= self._match_limit
@@ -185,7 +174,7 @@ class BacktrackingEngine:
     def _check_budget(self) -> None:
         self._tick -= 1
         if self._tick <= 0:
-            self._tick = _DEADLINE_STRIDE
+            self._tick = DEADLINE_STRIDE
             if self._deadline is not None and self._deadline.expired():
                 raise BudgetExceeded
 
@@ -262,46 +251,6 @@ class BacktrackingEngine:
     # Adaptive order (DP-iso)
     # ------------------------------------------------------------------
 
-    def _select_adaptive(
-        self,
-    ) -> Optional[Tuple[int, Sequence[int], List[int]]]:
-        """Pick the next vertex per DP-iso: least estimated work among
-        extendable vertices, degree-one vertices last. Returns
-        ``(u, local_candidates, backward_neighbors)``.
-        """
-        state = self.adaptive
-        assert state is not None
-        ctx = self._ctx
-        mapping = ctx.mapping
-        position = state.position
-        query = ctx.query
-
-        best: Optional[Tuple[int, Sequence[int], List[int]]] = None
-        best_key: Optional[Tuple[int, float, int]] = None
-        for u in query.vertices():
-            if mapping[u] != -1:
-                continue
-            pos_u = position[u]
-            backward = []
-            extendable = True
-            for w in query.neighbors(u).tolist():
-                if position[w] < pos_u:
-                    if mapping[w] == -1:
-                        extendable = False
-                        break
-                    backward.append(w)
-            if not extendable:
-                continue
-            backward.sort(key=lambda w: position[w])
-            parent = backward[0] if backward else -1
-            lc = self.lc_method.compute(ctx, u, backward, parent)
-            degree_one_rank = 1 if u in state.degree_one else 0
-            key = (degree_one_rank, state.estimated_work(u, list(lc)), pos_u)
-            if best_key is None or key < best_key:
-                best = (u, lc, backward)
-                best_key = key
-        return best
-
     def _search_adaptive(self, depth: int) -> None:
         stats = self._stats
         stats.recursion_calls += 1
@@ -310,7 +259,7 @@ class BacktrackingEngine:
         if depth == ctx.query.num_vertices:
             self._record_match()
             return
-        selection = self._select_adaptive()
+        selection = self._selector.select()
         assert selection is not None, "connected query always has an extendable vertex"
         u, lc, _ = selection
         mapping, used = ctx.mapping, ctx.used
@@ -333,7 +282,7 @@ class BacktrackingEngine:
         if depth == ctx.query.num_vertices:
             self._record_match()
             return self._full_mask
-        selection = self._select_adaptive()
+        selection = self._selector.select()
         assert selection is not None, "connected query always has an extendable vertex"
         u, lc, backward = selection
         u_bit = 1 << u

@@ -1,0 +1,557 @@
+"""The iterative frame-machine enumeration engine.
+
+This replaces the recursive descent of
+:class:`~repro.enumeration.engine.BacktrackingEngine` with an explicit
+machine over per-depth *frames*. A DFS visits at most one search node per
+depth at a time, so the "stack" is a set of preallocated per-depth slots:
+
+* ``mapping`` — one shared int64 array, ``mapping[u]`` = data vertex (-1);
+* ``visited``/``owner`` — boolean/int64 arrays over data vertices that
+  replace the ``used`` dict (``owner[v]`` = query vertex, valid while
+  ``visited[v]``);
+* per depth: the frame's query vertex, its *valid* candidate array
+  (conflicts filtered out in one vectorized pass), the original-index
+  array needed for exact counter parity, a cursor, and the failing-set
+  accumulators.
+
+Two structural wins over the recursion:
+
+1. **Vectorized conflict filtering.** ``used`` contains exactly the
+   ancestors of a frame, and ancestors do not change while the frame
+   iterates (descendants always unmap before control returns). The
+   injectivity mask is therefore computed once per frame —
+   ``visited[candidates]`` — instead of one dict probe per candidate per
+   step.
+2. **Leaf batching.** At depth ``n-1`` every valid candidate is a
+   complete match; the machine records the whole run of them at once
+   (one ``np.repeat`` row build, and none at all when embeddings are
+   neither stored nor emitted) instead of paying one recursive call plus
+   one tuple conversion per match.
+
+Counter parity with the recursive engine is exact — ``recursion_calls``,
+``candidates_scanned``, ``conflicts``, ``failing_set_prunes`` and
+``adaptive_lc_reused`` all match, as do the embeddings byte-for-byte.
+The engine-parity property suite and the QA differential harness enforce
+this.
+
+Pause/resume: the machine's state lives on the object, so
+:meth:`FrameMachine.advance` yields one leaf batch at a time —
+:func:`repro.enumeration.streaming.iter_matches` is a thin generator over
+it. :meth:`FrameMachine.save_state` / :meth:`FrameMachine.restore_state`
+snapshot and rewind the full search position for checkpointing and fair
+scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import BudgetExceeded
+from repro.filtering.auxiliary import AuxiliaryStructure
+from repro.filtering.candidates import CandidateSets
+from repro.graph.graph import Graph
+from repro.enumeration.local_candidates import LCContext, LocalCandidateMethod
+from repro.enumeration.stats import EnumerationOutcome, EnumerationStats
+from repro.enumeration.support import (
+    DEADLINE_STRIDE,
+    AdaptiveSelector,
+    EmbeddingStore,
+    prepare_static_order,
+)
+from repro.ordering.dpiso import DPisoAdaptiveState
+from repro.utils.timer import Deadline, Timer
+
+__all__ = ["FrameMachine", "FrameSnapshot"]
+
+
+class _VisitedView:
+    """Dict façade over the visited/owner arrays for ``LCContext.used``.
+
+    ComputeLC methods that consult the partial embedding (VF2++'s
+    lookahead) only need membership tests and owner lookups; this view
+    serves them straight from the arrays without maintaining a dict.
+    """
+
+    __slots__ = ("_visited", "_owner")
+
+    def __init__(self, visited: np.ndarray, owner: np.ndarray) -> None:
+        self._visited = visited
+        self._owner = owner
+
+    def __contains__(self, v: int) -> bool:
+        return bool(self._visited[v])
+
+    def get(self, v: int, default: Optional[int] = None) -> Optional[int]:
+        if self._visited[v]:
+            return int(self._owner[v])
+        return default
+
+    def __len__(self) -> int:
+        return int(self._visited.sum())
+
+
+@dataclass
+class FrameSnapshot:
+    """A full search position, produced by :meth:`FrameMachine.save_state`.
+
+    Restoring rewinds the machine to exactly this node of the search tree
+    (mapping, frames, counters, retained-embedding count). The adaptive
+    selector's memo cache is deliberately not captured — entries
+    self-validate against the current mapping, so a stale cache is
+    semantically inert (only ``adaptive_lc_reused`` may differ after a
+    rewind).
+    """
+
+    depth: int
+    f_u: List[int]
+    f_v: List[int]
+    f_valid: List[Optional[np.ndarray]]
+    f_orig: List[Optional[np.ndarray]]
+    f_pos: List[int]
+    f_last: List[int]
+    f_lclen: List[int]
+    f_fs: List[int]
+    f_bmask: List[int]
+    f_cbits: List[int]
+    mapping: np.ndarray
+    visited: np.ndarray
+    owner: np.ndarray
+    num_matches: int
+    solved: bool
+    done: bool
+    tick: int
+    stats: EnumerationStats
+    store_count: int
+
+
+class FrameMachine:
+    """Iterative Algorithm 1: frames instead of recursion.
+
+    Drop-in engine: same constructor and :meth:`run` contract as
+    :class:`~repro.enumeration.engine.BacktrackingEngine`, same
+    embeddings and counters. Additionally exposes the incremental
+    :meth:`start` / :meth:`advance` protocol for streaming consumers.
+    """
+
+    #: Registry name (see :mod:`repro.enumeration.engines`).
+    name = "iterative"
+
+    def __init__(
+        self,
+        lc_method: LocalCandidateMethod,
+        use_failing_sets: bool = False,
+        adaptive: Optional[DPisoAdaptiveState] = None,
+    ) -> None:
+        self.lc_method = lc_method
+        self.use_failing_sets = use_failing_sets
+        self.adaptive = adaptive
+
+    # ------------------------------------------------------------------
+    # One-shot API (mirrors BacktrackingEngine.run)
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets],
+        auxiliary: Optional[AuxiliaryStructure],
+        order: Optional[Sequence[int]],
+        tree_parent: Optional[Sequence[int]] = None,
+        match_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        store_limit: int = 10_000,
+    ) -> EnumerationOutcome:
+        """Enumerate matches of ``query`` in ``data``; see the recursive
+        engine for the parameter contract."""
+        self.start(
+            query,
+            data,
+            candidates,
+            auxiliary,
+            order,
+            tree_parent=tree_parent,
+            match_limit=match_limit,
+            time_limit=time_limit,
+            store_limit=store_limit,
+            emit_rows=False,
+        )
+        with Timer() as timer:
+            while self.advance() is not None:
+                pass
+        return EnumerationOutcome(
+            num_matches=self._num_matches,
+            solved=self._solved,
+            embeddings=self._store.as_tuples(),
+            stats=self._stats,
+            elapsed=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental API
+    # ------------------------------------------------------------------
+
+    def start(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Optional[CandidateSets],
+        auxiliary: Optional[AuxiliaryStructure],
+        order: Optional[Sequence[int]],
+        tree_parent: Optional[Sequence[int]] = None,
+        match_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        store_limit: int = 10_000,
+        emit_rows: bool = False,
+    ) -> "FrameMachine":
+        """Initialize the machine at the root of the search tree.
+
+        With ``emit_rows=True`` each :meth:`advance` call returns the next
+        leaf batch as an int64 row array (one row per match, columns
+        indexed by query vertex); with ``emit_rows=False`` matches are
+        only counted/stored and :meth:`advance` runs to completion.
+        """
+        n = query.num_vertices
+        self._n = n
+        self._mapping = np.full(n, -1, dtype=np.int64)
+        self._visited = np.zeros(data.num_vertices, dtype=bool)
+        self._owner = np.zeros(data.num_vertices, dtype=np.int64)
+        ctx = LCContext(
+            query=query,
+            data=data,
+            candidates=candidates,
+            auxiliary=auxiliary,
+            mapping=self._mapping,
+            used=_VisitedView(self._visited, self._owner),
+        )
+        self.lc_method.prepare(ctx)
+
+        self._ctx = ctx
+        self._stats = EnumerationStats()
+        self._deadline = Deadline(time_limit) if time_limit else None
+        self._tick = DEADLINE_STRIDE
+        self._match_limit = match_limit
+        self._num_matches = 0
+        self._store = EmbeddingStore(n, store_limit)
+        self._emit_rows = emit_rows
+        self._full_mask = (1 << n) - 1
+        self._solved = True
+        self._done = False
+
+        if self.adaptive is None:
+            if order is None:
+                raise ValueError("static mode requires a matching order")
+            self._static = prepare_static_order(query, list(order), tree_parent)
+            self._selector = None
+        else:
+            self._static = None
+            self._selector = AdaptiveSelector(
+                self.lc_method, self.adaptive, ctx, self._stats
+            )
+
+        self._f_u = [0] * n
+        self._f_v = [0] * n
+        self._f_valid: List[Optional[np.ndarray]] = [None] * n
+        self._f_orig: List[Optional[np.ndarray]] = [None] * n
+        self._f_pos = [0] * n
+        self._f_last = [0] * n
+        self._f_lclen = [0] * n
+        self._f_fs = [0] * n
+        self._f_bmask = [0] * n
+        self._f_cbits = [0] * n
+        self._depth = -1
+
+        if candidates is not None and candidates.has_empty_set:
+            self._done = True  # no match possible; zero work, zero counters
+        elif not self._push(0):
+            self._done = True  # fs empty root LC: the search is one node
+        return self
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def num_matches(self) -> int:
+        return self._num_matches
+
+    @property
+    def stats(self) -> EnumerationStats:
+        return self._stats
+
+    def advance(self) -> Optional[np.ndarray]:
+        """Run until the next leaf batch (``emit_rows=True``) or to
+        completion. Returns the batch rows, or ``None`` when the search
+        is exhausted (or the time budget expired — ``solved`` goes
+        False)."""
+        if self._done:
+            return None
+        try:
+            return self._loop()
+        except BudgetExceeded:
+            self._solved = False
+            self._done = True
+            return None
+
+    # ------------------------------------------------------------------
+    # Machine internals
+    # ------------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        if self._tick <= 0:
+            self._tick = DEADLINE_STRIDE
+            if self._deadline is not None and self._deadline.expired():
+                raise BudgetExceeded
+
+    def _push(self, depth: int) -> bool:
+        """Enter a search node: select the vertex, resolve and filter its
+        local candidates. Returns False when the node returns immediately
+        (failing-sets empty-LC short circuit, ``self._ret_fs`` set)."""
+        stats = self._stats
+        stats.recursion_calls += 1
+        self._tick -= 1
+        if self._tick <= 0:
+            self._check_budget()
+        ctx = self._ctx
+        if self._static is not None:
+            u = self._static.order[depth]
+            lc = self.lc_method.compute(
+                ctx, u, self._static.backward[depth], self._static.parent[depth]
+            )
+            bmask = self._static.backward_mask[depth]
+        else:
+            selection = self._selector.select()
+            assert (
+                selection is not None
+            ), "connected query always has an extendable vertex"
+            u, lc, backward = selection
+            bmask = 0
+            for w in backward:
+                bmask |= 1 << w
+        u_bit = 1 << u
+        lclen = len(lc)
+        if self.use_failing_sets and lclen == 0:
+            # Emptyset class: bypass the frame entirely and return the
+            # failing set to the parent (u plus its backward neighbors).
+            self._ret_fs = u_bit | bmask
+            return False
+        cand = np.asarray(lc, dtype=np.int64)
+        orig: Optional[np.ndarray] = None
+        cbits = 0
+        if lclen:
+            bad = self._visited[cand]
+            if bad.any():
+                keep = ~bad
+                valid = cand[keep]
+                orig = np.flatnonzero(keep)
+                if self.use_failing_sets:
+                    # Conflict children are u_bit | owner_bit; they never
+                    # prune, so their union only matters at exhaustion.
+                    # Owners are ancestors, constant for the frame's life.
+                    obits = 0
+                    for w in self._owner[cand[bad]].tolist():
+                        obits |= 1 << w
+                    cbits = u_bit | obits
+            else:
+                valid = cand
+        else:
+            valid = cand
+        self._f_u[depth] = u
+        self._f_valid[depth] = valid
+        self._f_orig[depth] = orig
+        self._f_pos[depth] = 0
+        self._f_last[depth] = -1
+        self._f_lclen[depth] = lclen
+        self._f_fs[depth] = 0
+        self._f_bmask[depth] = bmask
+        self._f_cbits[depth] = cbits
+        self._depth = depth
+        return True
+
+    def _absorb(self, depth: int, ret: int) -> bool:
+        """A child of frame ``depth`` returned ``ret``: unmap the frame's
+        current candidate, then apply the failing-set prune test. Returns
+        True when the frame itself must return ``ret`` (prune)."""
+        u = self._f_u[depth]
+        self._visited[self._f_v[depth]] = False
+        self._mapping[u] = -1
+        if self.use_failing_sets:
+            if not ret & (1 << u):
+                # The failure below does not involve u: every sibling
+                # candidate fails identically — skip them all.
+                self._stats.failing_set_prunes += 1
+                return True
+            self._f_fs[depth] |= ret
+        return False
+
+    def _loop(self) -> Optional[np.ndarray]:
+        # The frame slot lists are bound once: _push mutates the same list
+        # objects in place, and restore_state (which rebinds them) cannot
+        # run while this loop owns the machine.
+        n = self._n
+        fs = self.use_failing_sets
+        stats = self._stats
+        mapping = self._mapping
+        visited = self._visited
+        store = self._store
+        f_u = self._f_u
+        f_v = self._f_v
+        f_valid = self._f_valid
+        f_orig = self._f_orig
+        f_pos = self._f_pos
+        f_last = self._f_last
+        f_lclen = self._f_lclen
+        f_fs = self._f_fs
+        f_bmask = self._f_bmask
+        f_cbits = self._f_cbits
+        while True:
+            d = self._depth
+            valid = f_valid[d]
+            pos = f_pos[d]
+            if pos >= len(valid):
+                # Frame exhausted: account the trailing conflicts, build
+                # the failing set, and return it to the parent.
+                tail = f_lclen[d] - 1 - f_last[d]
+                if tail > 0:
+                    stats.candidates_scanned += tail
+                    stats.conflicts += tail
+                ret = f_fs[d] | f_cbits[d] | f_bmask[d] if fs else 0
+                d -= 1
+                while d >= 0 and self._absorb(d, ret):
+                    d -= 1  # pruned frames return mid-loop: no tail accounting
+                if d < 0:
+                    self._done = True
+                    return None
+                self._depth = d
+                continue
+
+            u = f_u[d]
+            orig = f_orig[d]
+            last = f_last[d]
+
+            if d == n - 1:
+                # Leaf batch: every remaining valid candidate completes a
+                # match. The recursive engine stops only after recording
+                # the match that reaches the limit, so room is clamped to
+                # at least one.
+                take = len(valid) - pos
+                if self._match_limit is not None:
+                    room = self._match_limit - self._num_matches
+                    if room <= 0:
+                        room = 1
+                    if take > room:
+                        take = room
+                o_end = int(orig[pos + take - 1]) if orig is not None else pos + take - 1
+                delta = o_end - last
+                stats.candidates_scanned += delta
+                stats.conflicts += delta - take
+                stats.recursion_calls += take
+                self._tick -= take
+                if self._tick <= 0:
+                    self._check_budget()
+                f_last[d] = o_end
+                f_pos[d] = pos + take
+                self._num_matches += take
+                if fs:
+                    f_fs[d] |= self._full_mask
+                rows: Optional[np.ndarray] = None
+                if self._emit_rows or not store.full:
+                    rows = np.repeat(mapping[None, :], take, axis=0)
+                    rows[:, u] = valid[pos : pos + take]
+                    if not store.full:
+                        store.extend_rows(rows)
+                if (
+                    self._match_limit is not None
+                    and self._num_matches >= self._match_limit
+                ):
+                    self._done = True
+                if self._emit_rows:
+                    return rows
+                if self._done:
+                    return None
+                continue
+
+            # Interior step: consume one valid candidate, map it, descend.
+            o = int(orig[pos]) if orig is not None else pos
+            delta = o - last
+            stats.candidates_scanned += delta
+            stats.conflicts += delta - 1
+            f_last[d] = o
+            f_pos[d] = pos + 1
+            v = int(valid[pos])
+            mapping[u] = v
+            visited[v] = True
+            self._owner[v] = u
+            f_v[d] = v
+            if not self._push(d + 1):
+                # fs empty-LC: the virtual child returned self._ret_fs.
+                ret = self._ret_fs
+                while d >= 0 and self._absorb(d, ret):
+                    d -= 1
+                if d < 0:
+                    self._done = True
+                    return None
+                self._depth = d
+
+    # ------------------------------------------------------------------
+    # Pause / resume
+    # ------------------------------------------------------------------
+
+    def save_state(self) -> FrameSnapshot:
+        """Snapshot the full search position (cheap: O(depth + |V(G)|))."""
+        return FrameSnapshot(
+            depth=self._depth,
+            f_u=list(self._f_u),
+            f_v=list(self._f_v),
+            f_valid=list(self._f_valid),
+            f_orig=list(self._f_orig),
+            f_pos=list(self._f_pos),
+            f_last=list(self._f_last),
+            f_lclen=list(self._f_lclen),
+            f_fs=list(self._f_fs),
+            f_bmask=list(self._f_bmask),
+            f_cbits=list(self._f_cbits),
+            mapping=self._mapping.copy(),
+            visited=self._visited.copy(),
+            owner=self._owner.copy(),
+            num_matches=self._num_matches,
+            solved=self._solved,
+            done=self._done,
+            tick=self._tick,
+            stats=replace(self._stats),
+            store_count=len(self._store),
+        )
+
+    def restore_state(self, snapshot: FrameSnapshot) -> None:
+        """Rewind to a snapshot taken by :meth:`save_state` on this run.
+
+        Arrays are copied *into* the live buffers (the LC context and the
+        visited view hold references to them); retained embeddings are
+        truncated back to the snapshot's count.
+        """
+        self._depth = snapshot.depth
+        # Slot lists are mutated in place, never rebound: _loop holds
+        # direct references to them.
+        self._f_u[:] = snapshot.f_u
+        self._f_v[:] = snapshot.f_v
+        self._f_valid[:] = snapshot.f_valid
+        self._f_orig[:] = snapshot.f_orig
+        self._f_pos[:] = snapshot.f_pos
+        self._f_last[:] = snapshot.f_last
+        self._f_lclen[:] = snapshot.f_lclen
+        self._f_fs[:] = snapshot.f_fs
+        self._f_bmask[:] = snapshot.f_bmask
+        self._f_cbits[:] = snapshot.f_cbits
+        self._mapping[:] = snapshot.mapping
+        self._visited[:] = snapshot.visited
+        self._owner[:] = snapshot.owner
+        self._num_matches = snapshot.num_matches
+        self._solved = snapshot.solved
+        self._done = snapshot.done
+        self._tick = snapshot.tick
+        for f in fields(EnumerationStats):
+            setattr(self._stats, f.name, getattr(snapshot.stats, f.name))
+        self._store.truncate(snapshot.store_count)

@@ -73,6 +73,13 @@ class LocalCandidateMethod(ABC):
     needs_candidates: bool = False
     needs_auxiliary: bool = False
 
+    #: Whether ``compute(ctx, u, backward, parent)`` is fully determined
+    #: by the current mappings of ``backward`` (plus the immutable
+    #: context). True for Algorithms 2–5; methods that also consult
+    #: ``ctx.used`` (the whole partial embedding) must set this False so
+    #: the adaptive selector never serves them a stale memoized list.
+    mapping_determined: bool = True
+
     def prepare(self, ctx: LCContext) -> None:
         """Validate wiring before a run starts."""
         if self.needs_candidates and ctx.candidates is None:
@@ -150,6 +157,10 @@ class VF2ppLC(NeighborScanLC):
     """
 
     name = "2PP-LC"
+    #: The lookahead counts *unmapped* data neighbors, so the result
+    #: depends on the whole partial embedding, not just the backward
+    #: neighbors' mappings — it must not be memoized by backward key.
+    mapping_determined = False
 
     def compute(
         self,

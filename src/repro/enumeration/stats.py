@@ -16,13 +16,17 @@ class EnumerationStats:
     ``candidates_scanned`` counts local candidates iterated;
     ``conflicts`` counts injectivity rejections (``v ∈ M``);
     ``failing_set_prunes`` counts sibling groups skipped by the failing-set
-    optimization.
+    optimization;
+    ``adaptive_lc_reused`` counts ComputeLC invocations avoided by the
+    adaptive selector's memoization (DP-iso mode only; always 0 for
+    static orders).
     """
 
     recursion_calls: int = 0
     candidates_scanned: int = 0
     conflicts: int = 0
     failing_set_prunes: int = 0
+    adaptive_lc_reused: int = 0
 
 
 @dataclass

@@ -1,16 +1,21 @@
 """Streaming enumeration: matches as a lazy iterator.
 
 ``match()`` materializes results; this module yields them one at a time
-with an explicit-stack backtracking search, so a consumer can stop after
-any number of matches without paying for the rest (``itertools.islice``
-composes naturally). The pipeline is the paper's recommended one —
-GraphQL filter, all-edges auxiliary structure, Algorithm 5 — with the
-ordering chosen by data density as in Section 6.
+so a consumer can stop after any number of matches without paying for
+the rest (``itertools.islice`` composes naturally). The pipeline is the
+paper's recommended one — GraphQL filter, all-edges auxiliary structure,
+Algorithm 5 — with the ordering chosen by data density as in Section 6.
+
+The walk itself is the incremental face of the
+:class:`~repro.enumeration.frames.FrameMachine`: ``start(...,
+emit_rows=True)`` then one ``advance()`` per leaf batch. There is no
+second hand-rolled stack walker here — pausing between batches *is* the
+frame machine's pause/resume contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 from repro.errors import InvalidQueryError
 from repro.filtering.auxiliary import AuxiliaryStructure
@@ -19,6 +24,8 @@ from repro.graph.graph import Graph
 from repro.graph.ops import connected
 from repro.ordering.graphql import GraphQLOrdering
 from repro.ordering.ri import RIOrdering
+from repro.enumeration.frames import FrameMachine
+from repro.enumeration.local_candidates import IntersectionLC
 from repro.utils.kernels import get_kernel
 
 __all__ = ["iter_matches"]
@@ -61,53 +68,20 @@ def iter_matches(
     )
     order = ordering.order(query, data, candidates)
 
-    n = len(order)
-    position = {u: i for i, u in enumerate(order)}
-    backward: List[List[int]] = [
-        sorted(
-            (w for w in query.neighbors(u).tolist() if position[w] < i),
-            key=lambda w: position[w],
-        )
-        for i, u in enumerate(order)
-    ]
-
-    def local_candidates(depth: int, mapping: List[int]) -> List[int]:
-        u = order[depth]
-        anchors = backward[depth]
-        if not anchors:
-            return candidates[u]
-        lists = [
-            auxiliary.neighbors(w, u, mapping[w]) for w in anchors
-        ]
-        if len(lists) == 1:
-            return lists[0]
-        return backend.multi_intersect(lists)
-
-    # Explicit-stack DFS: each frame is (candidate list, next index).
-    mapping = [-1] * query.num_vertices
-    used: set = set()
-    stack: List[Tuple[List[int], int]] = [(list(local_candidates(0, mapping)), 0)]
-
-    while stack:
-        depth = len(stack) - 1
-        lc, idx = stack[-1]
-        if idx >= len(lc):
-            stack.pop()
-            if stack:
-                u_prev = order[depth - 1]
-                used.discard(mapping[u_prev])
-                mapping[u_prev] = -1
-            continue
-        stack[-1] = (lc, idx + 1)
-        v = lc[idx]
-        if v in used:
-            continue
-        u = order[depth]
-        mapping[u] = v
-        used.add(v)
-        if depth + 1 == n:
-            yield {w: int(mapping[w]) for w in range(query.num_vertices)}
-            used.discard(v)
-            mapping[u] = -1
-        else:
-            stack.append((list(local_candidates(depth + 1, mapping)), 0))
+    n = query.num_vertices
+    machine = FrameMachine(IntersectionLC(kernel=backend))
+    machine.start(
+        query,
+        data,
+        candidates,
+        auxiliary,
+        order,
+        store_limit=0,
+        emit_rows=True,
+    )
+    while True:
+        rows = machine.advance()
+        if rows is None:
+            return
+        for row in rows.tolist():
+            yield {w: row[w] for w in range(n)}

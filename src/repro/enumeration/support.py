@@ -1,0 +1,260 @@
+"""Shared plumbing for the two enumeration engines.
+
+Both the recursive :class:`~repro.enumeration.engine.BacktrackingEngine`
+and the iterative :class:`~repro.enumeration.frames.FrameMachine` need
+the same three pieces, factored here so they cannot drift apart:
+
+* :func:`prepare_static_order` — per-depth backward neighbors, designated
+  parent ``u.p`` and failing-set backward masks for a static order φ;
+* :class:`EmbeddingStore` — the int64 row store for retained embeddings.
+  Matches stay numpy end-to-end on the hot path and are converted to
+  plain-int tuples exactly once, when the outcome is built;
+* :class:`AdaptiveSelector` — DP-iso's extendable-vertex selection with
+  ComputeLC memoization: a vertex's local candidates are fully determined
+  by its backward neighbors' current mappings (for mapping-determined
+  methods), so re-selection at the next search node reuses the list
+  instead of recomputing it. Saved calls are counted in
+  ``EnumerationStats.adaptive_lc_reused``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.enumeration.local_candidates import LCContext, LocalCandidateMethod
+from repro.enumeration.stats import EnumerationStats
+from repro.graph.graph import Graph
+from repro.ordering.dpiso import DPisoAdaptiveState
+
+__all__ = [
+    "DEADLINE_STRIDE",
+    "StaticOrderInfo",
+    "prepare_static_order",
+    "EmbeddingStore",
+    "AdaptiveSelector",
+]
+
+#: How many Enumerate calls between cooperative deadline checks.
+DEADLINE_STRIDE = 2048
+
+
+class StaticOrderInfo:
+    """Per-depth artifacts of a static matching order φ."""
+
+    __slots__ = ("order", "backward", "parent", "backward_mask")
+
+    def __init__(
+        self,
+        order: List[int],
+        backward: List[List[int]],
+        parent: List[int],
+        backward_mask: List[int],
+    ) -> None:
+        self.order = order
+        self.backward = backward
+        self.parent = parent
+        self.backward_mask = backward_mask
+
+
+def prepare_static_order(
+    query: Graph,
+    order: List[int],
+    tree_parent: Optional[Sequence[int]],
+) -> StaticOrderInfo:
+    """Backward neighbors, parent ``u.p`` and fs masks per order position.
+
+    ``tree_parent`` optionally designates ``u.p`` per query vertex (CFL
+    must use its BFS-tree parent so Algorithm 4 hits the tree-scoped
+    index); otherwise the φ-earliest backward neighbor is the parent.
+    """
+    position = {u: i for i, u in enumerate(order)}
+    backward_lists: List[List[int]] = []
+    parents: List[int] = []
+    masks: List[int] = []
+    for i, u in enumerate(order):
+        backward = [
+            w for w in query.neighbors(u).tolist() if position[w] < i
+        ]
+        backward.sort(key=lambda w: position[w])
+        parent = -1
+        if backward:
+            parent = backward[0]
+            if tree_parent is not None and tree_parent[u] in backward:
+                parent = tree_parent[u]
+        backward_lists.append(backward)
+        parents.append(parent)
+        mask = 0
+        for w in backward:
+            mask |= 1 << w
+        masks.append(mask)
+    return StaticOrderInfo(order, backward_lists, parents, masks)
+
+
+class EmbeddingStore:
+    """Retained embeddings as int64 rows, converted to tuples once.
+
+    The engines used to pay ``tuple(map(int, mapping))`` per stored match
+    on the hot path; here a match is one row assignment into a
+    preallocated (geometrically grown) array, and the plain-int tuples the
+    public API promises are produced in a single ``tolist()`` pass at
+    outcome construction.
+    """
+
+    __slots__ = ("limit", "_rows", "_count")
+
+    def __init__(self, width: int, limit: int) -> None:
+        self.limit = max(0, int(limit))
+        self._count = 0
+        self._rows = np.empty(
+            (min(self.limit, 1024), max(1, width)), dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.limit
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = self._rows.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = min(self.limit, max(needed, capacity * 2, 16))
+        grown = np.empty((new_capacity, self._rows.shape[1]), dtype=np.int64)
+        grown[: self._count] = self._rows[: self._count]
+        self._rows = grown
+
+    def append(self, mapping: Sequence[int]) -> None:
+        """Store one full mapping (no-op once the limit is reached)."""
+        if self._count >= self.limit:
+            return
+        self._grow_to(self._count + 1)
+        self._rows[self._count] = mapping
+        self._count += 1
+
+    def extend_rows(self, rows: np.ndarray) -> None:
+        """Store a batch of mapping rows, truncated to the remaining room."""
+        room = self.limit - self._count
+        if room <= 0:
+            return
+        take = min(room, rows.shape[0])
+        self._grow_to(self._count + take)
+        self._rows[self._count : self._count + take] = rows[:take]
+        self._count += take
+
+    def truncate(self, count: int) -> None:
+        """Roll back to ``count`` rows (pause/resume support)."""
+        if not 0 <= count <= self._count:
+            raise ValueError(f"cannot truncate {self._count} rows to {count}")
+        self._count = count
+
+    def as_tuples(self) -> List[Tuple[int, ...]]:
+        """The stored embeddings as tuples of plain Python ints."""
+        return [tuple(row) for row in self._rows[: self._count].tolist()]
+
+
+class AdaptiveSelector:
+    """DP-iso extendable-vertex selection with local-candidate reuse.
+
+    The original ``_select_adaptive`` recomputed ``lc_method.compute`` for
+    *every* extendable vertex at *every* search node and discarded all but
+    the winner's list. For mapping-determined ComputeLC methods the list
+    for ``u`` depends only on the current mappings of ``u``'s backward
+    neighbors (under the δ order), so it is memoized per vertex keyed by
+    that mapping tuple; the estimated-work score rides along. Both engines
+    share one selector implementation, which keeps their selection — and
+    therefore their whole search trees — identical.
+    """
+
+    __slots__ = (
+        "lc_method",
+        "state",
+        "ctx",
+        "stats",
+        "_n",
+        "_backward",
+        "_cacheable",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        lc_method: LocalCandidateMethod,
+        state: DPisoAdaptiveState,
+        ctx: LCContext,
+        stats: EnumerationStats,
+    ) -> None:
+        self.lc_method = lc_method
+        self.state = state
+        self.ctx = ctx
+        self.stats = stats
+        query = ctx.query
+        position = state.position
+        self._n = query.num_vertices
+        # Backward neighbors under δ are static; only extendability (all
+        # of them mapped) changes as the search proceeds.
+        self._backward: List[List[int]] = []
+        for u in range(self._n):
+            backward = [
+                w
+                for w in query.neighbors(u).tolist()
+                if position[w] < position[u]
+            ]
+            backward.sort(key=lambda w: position[w])
+            self._backward.append(backward)
+        self._cacheable = lc_method.mapping_determined
+        #: Per-vertex (backward-mapping key, lc, estimated work) entry.
+        self._cache: List[Optional[Tuple[Tuple[int, ...], Sequence[int], float]]] = [
+            None
+        ] * self._n
+
+    def select(self) -> Optional[Tuple[int, Sequence[int], List[int]]]:
+        """Pick the next vertex per DP-iso: least estimated work among
+        extendable vertices, degree-one vertices last. Returns
+        ``(u, local_candidates, backward_neighbors)``.
+        """
+        state = self.state
+        mapping = self.ctx.mapping
+        position = state.position
+        degree_one = state.degree_one
+
+        best: Optional[Tuple[int, Sequence[int], List[int]]] = None
+        best_key: Optional[Tuple[int, float, int]] = None
+        for u in range(self._n):
+            if mapping[u] != -1:
+                continue
+            backward = self._backward[u]
+            extendable = True
+            for w in backward:
+                if mapping[w] == -1:
+                    extendable = False
+                    break
+            if not extendable:
+                continue
+            lc, work = self._lc_and_work(u, backward, mapping)
+            degree_one_rank = 1 if u in degree_one else 0
+            key = (degree_one_rank, work, position[u])
+            if best_key is None or key < best_key:
+                best = (u, lc, backward)
+                best_key = key
+        return best
+
+    def _lc_and_work(
+        self, u: int, backward: List[int], mapping: Sequence[int]
+    ) -> Tuple[Sequence[int], float]:
+        key = None
+        if self._cacheable:
+            key = tuple(int(mapping[w]) for w in backward)
+            entry = self._cache[u]
+            if entry is not None and entry[0] == key:
+                self.stats.adaptive_lc_reused += 1
+                return entry[1], entry[2]
+        parent = backward[0] if backward else -1
+        lc = self.lc_method.compute(self.ctx, u, backward, parent)
+        work = self.state.estimated_work(u, list(lc))
+        if key is not None:
+            self._cache[u] = (key, lc, work)
+        return lc, work

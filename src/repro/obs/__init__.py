@@ -32,10 +32,12 @@ from repro.obs.metrics import (
     total_candidates,
 )
 from repro.obs.schema import (
+    BENCH_ENGINE_SCHEMA_VERSION,
     BENCH_KERNELS_SCHEMA_VERSION,
     BENCH_SESSION_SCHEMA_VERSION,
     TRACE_SCHEMA,
     TraceSchemaError,
+    validate_bench_engine,
     validate_bench_kernels,
     validate_bench_session,
     validate_trace_file,
@@ -70,9 +72,11 @@ __all__ = [
     "total_candidates",
     # schema
     "TRACE_SCHEMA",
+    "BENCH_ENGINE_SCHEMA_VERSION",
     "BENCH_KERNELS_SCHEMA_VERSION",
     "BENCH_SESSION_SCHEMA_VERSION",
     "TraceSchemaError",
+    "validate_bench_engine",
     "validate_bench_kernels",
     "validate_bench_session",
     "validate_trace_file",

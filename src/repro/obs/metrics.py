@@ -118,6 +118,7 @@ class Metrics:
         self.add("enumerate.candidates_scanned", stats.candidates_scanned)
         self.add("enumerate.conflicts", stats.conflicts)
         self.add("enumerate.failing_set_prunes", stats.failing_set_prunes)
+        self.add("enumerate.adaptive_lc_reused", stats.adaptive_lc_reused)
 
     # ------------------------------------------------------------------
     # Aggregation / serialization

@@ -4,6 +4,8 @@ For a planted case this module executes the query across
 
 * every built-in registry preset (plus ``"recommended"``),
 * every kernel backend on an Algorithm 5 preset,
+* both enumeration engines (recursive vs iterative frame machine) on
+  static-failing-sets and adaptive presets, compared byte-for-byte,
 * :class:`~repro.core.session.MatchSession` (cache miss *and* cache hit)
   vs the one-shot :func:`~repro.core.api.match`,
 * the independent :mod:`repro.baselines` oracles — VF2 always (cases are
@@ -30,6 +32,7 @@ from repro.core.session import MatchSession
 from repro.core.verify import verify_embedding
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
+from repro.enumeration.engines import available_engines
 from repro.qa.generator import PlantedCase, apply_transform
 from repro.utils.kernels import available_kernels
 
@@ -70,19 +73,22 @@ class Config:
 
     ``mode`` is ``"oneshot"`` (plain :func:`match`), ``"session"``
     (:class:`MatchSession`, run twice to cover cache miss and hit),
-    ``"vf2"`` or ``"bruteforce"`` (the oracles; ``algorithm``/``kernel``
-    are ignored there).
+    ``"vf2"`` or ``"bruteforce"`` (the oracles; ``algorithm``/``kernel``/
+    ``engine`` are ignored there). ``engine`` ``None`` defers to the
+    registry default, so historical corpus records replay unchanged.
     """
 
     algorithm: str = "GQL"
     kernel: Optional[str] = None
     mode: str = "oneshot"
+    engine: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Optional[str]]:
         return {
             "algorithm": self.algorithm,
             "kernel": self.kernel,
             "mode": self.mode,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -91,14 +97,16 @@ class Config:
             algorithm=payload.get("algorithm") or "GQL",
             kernel=payload.get("kernel"),
             mode=payload.get("mode") or "oneshot",
+            engine=payload.get("engine"),
         )
 
     def label(self) -> str:
         if self.mode in ("vf2", "bruteforce"):
             return self.mode
         kernel = f"/{self.kernel}" if self.kernel else ""
+        engine = f"@{self.engine}" if self.engine else ""
         session = "+session" if self.mode == "session" else ""
-        return f"{self.algorithm}{kernel}{session}"
+        return f"{self.algorithm}{kernel}{engine}{session}"
 
 
 @dataclass
@@ -143,7 +151,10 @@ def run_config(
         )
     if config.mode == "session":
         session = MatchSession(
-            data, algorithm=config.algorithm, kernel=config.kernel
+            data,
+            algorithm=config.algorithm,
+            kernel=config.kernel,
+            engine=config.engine,
         )
         first = session.match(
             query, match_limit=match_limit, store_limit=match_limit
@@ -164,6 +175,7 @@ def run_config(
         data,
         algorithm=config.algorithm,
         kernel=config.kernel,
+        engine=config.engine,
         match_limit=match_limit,
         store_limit=match_limit,
     )
@@ -262,12 +274,19 @@ def default_kernels() -> List[str]:
     return [name for name in available_kernels() if name != "auto"]
 
 
+def default_engines() -> List[str]:
+    """All registered enumeration engines."""
+    return available_engines()
+
+
 def run_case(
     case: PlantedCase,
     presets: Optional[Sequence[str]] = None,
     kernels: Optional[Sequence[str]] = None,
     kernel_algorithm: str = "CECI",
     session_algorithm: str = "GQL-opt",
+    engines: Optional[Sequence[str]] = None,
+    engine_algorithms: Sequence[str] = ("GQLfs", "DPfs"),
     oracle: bool = True,
     bruteforce_budget: int = 200_000,
     metamorphic: bool = True,
@@ -282,6 +301,7 @@ def run_case(
     """
     presets = list(presets) if presets is not None else default_presets()
     kernels = list(kernels) if kernels is not None else default_kernels()
+    engines = list(engines) if engines is not None else default_engines()
     divergences: List[Divergence] = []
 
     def run_checked(config: Config) -> Optional[Outcome]:
@@ -378,6 +398,41 @@ def run_case(
                     f"{why} differs",
                 )
             )
+
+    # Both enumeration engines, pairwise: the engines promise *byte
+    # identical* results (embedding order included), a stronger contract
+    # than the set equality presets are held to. Order-only differences
+    # are reported as ``session_mismatch``, whose replay path compares
+    # embedding lists.
+    for algo in engine_algorithms:
+        first_config = Config(algorithm=algo, engine=engines[0])
+        first = run_checked(first_config)
+        if first is None:
+            continue
+        for engine in engines[1:]:
+            config = Config(algorithm=algo, engine=engine)
+            outcome = run_checked(config)
+            if outcome is None:
+                continue
+            why = _outcomes_differ(first, outcome)
+            if why is not None:
+                divergences.append(
+                    _pair_divergence(
+                        "count_mismatch" if why == "count" else "set_mismatch",
+                        first_config, config, first, outcome, case,
+                        f"{why} differs between engines",
+                    )
+                )
+            elif not (first.capped or outcome.capped) and (
+                first.emb_list != outcome.emb_list
+            ):
+                divergences.append(
+                    _pair_divergence(
+                        "session_mismatch", first_config, config,
+                        first, outcome, case,
+                        "engines returned differently ordered embeddings",
+                    )
+                )
 
     # MatchSession (miss then hit) vs the one-shot baseline result.
     session_config = Config(algorithm=session_algorithm, mode="session")

@@ -1,0 +1,106 @@
+"""Unit tests for the engine benchmark's BENCH_engine.json contract."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    BENCH_ENGINE_SCHEMA_VERSION,
+    TraceSchemaError,
+    validate_bench_engine,
+)
+
+_BENCH_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_engine.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_engine", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def payload(bench_module):
+    # Tiny scale: the schema and the engine-identity checks are under
+    # test here, not the speedup headline.
+    return bench_module.run_engine_benchmark(
+        vertices=200,
+        num_queries=2,
+        repeats=1,
+        query_size=5,
+        match_limit=200,
+        degree=8.0,
+        labels=2,
+    )
+
+
+class TestPayload:
+    def test_validates_and_is_json_serializable(self, payload):
+        validate_bench_engine(payload)
+        json.dumps(payload)
+
+    def test_schema_stamp(self, payload):
+        assert payload["schema_version"] == BENCH_ENGINE_SCHEMA_VERSION
+        assert payload["benchmark"] == "engine-comparison"
+
+    def test_covers_both_engines_per_preset(self, payload):
+        for entry in payload["presets"]:
+            assert set(entry["engines"]) == {"recursive", "iterative"}
+
+    def test_embeddings_identical(self, payload):
+        assert all(p["embeddings_identical"] for p in payload["presets"])
+
+    def test_match_totals_agree_across_engines(self, payload):
+        for entry in payload["presets"]:
+            totals = {s["matches_total"] for s in entry["engines"].values()}
+            assert len(totals) == 1
+
+    def test_speedup_is_consistent(self, payload):
+        for entry in payload["presets"]:
+            assert entry["speedup_iterative_vs_recursive"] == pytest.approx(
+                entry["engines"]["recursive"]["seconds_total"]
+                / entry["engines"]["iterative"]["seconds_total"]
+            )
+
+
+class TestValidatorRejects:
+    def test_wrong_schema_version(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["schema_version"] = 99
+        with pytest.raises(TraceSchemaError, match="schema_version"):
+            validate_bench_engine(bad)
+
+    def test_wrong_benchmark_id(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["benchmark"] = "something-else"
+        with pytest.raises(TraceSchemaError, match="benchmark id"):
+            validate_bench_engine(bad)
+
+    def test_single_engine_rejected(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["presets"][0]["engines"]["recursive"]
+        with pytest.raises(TraceSchemaError, match="at least two"):
+            validate_bench_engine(bad)
+
+    def test_disagreeing_match_totals_rejected(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["presets"][0]["engines"]["iterative"]["matches_total"] += 1
+        with pytest.raises(TraceSchemaError, match="disagree"):
+            validate_bench_engine(bad)
+
+    def test_nonidentical_embeddings_rejected(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["presets"][0]["embeddings_identical"] = False
+        with pytest.raises(TraceSchemaError, match="embeddings_identical"):
+            validate_bench_engine(bad)
+
+    def test_missing_overall_speedup(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["overall_speedup"]
+        with pytest.raises(TraceSchemaError, match="overall_speedup"):
+            validate_bench_engine(bad)
