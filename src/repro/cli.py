@@ -9,6 +9,7 @@ Commands:
 * ``datasets``       — list (or materialize) the paper's dataset stand-ins
 * ``algorithms``     — list the available presets
 * ``fuzz``           — differential fuzzing with planted ground truth
+* ``serve``          — run the JSON-lines matching server over resident graphs
 """
 
 from __future__ import annotations
@@ -156,6 +157,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--max-failures", type=int, default=10,
         help="stop after this many divergent cases (default 10)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve resident graphs over a JSON-lines TCP protocol "
+        "(multi-tenant sessions, coalescing, deadlines, backpressure)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7437,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    p_serve.add_argument(
+        "--graph", "-g", action="append", default=[], metavar="NAME=PATH",
+        help="resident graph to load at startup (repeatable); "
+        "a bare PATH is served as 'default'",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="matching worker threads (default 4)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="max pending executions before backpressure (default 64)",
+    )
+    p_serve.add_argument(
+        "--default-budget-ms", type=float, default=None,
+        help="budget applied to requests that bring none (default none)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable sharing one execution among identical in-flight "
+        "requests",
+    )
+    p_serve.add_argument(
+        "--algorithm", "-a", default="recommended",
+        help="service-wide default preset (requests may override)",
     )
     return parser
 
@@ -370,6 +408,54 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import MatchServer, MatchService
+
+    service = MatchService(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        default_budget=(
+            args.default_budget_ms / 1000.0
+            if args.default_budget_ms is not None
+            else None
+        ),
+        coalesce=not args.no_coalesce,
+        algorithm=args.algorithm,
+    )
+    for spec in args.graph:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "default", spec
+        graph = load_graph(path)
+        service.add_graph(name, graph)
+        print(f"resident graph {name!r}: {graph}")
+    if not args.graph:
+        print("no --graph given: clients must add_graph over the wire")
+
+    async def run() -> None:
+        server = MatchServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {args.host}:{server.port} "
+              f"(workers={args.workers}, queue={args.queue_depth}, "
+              f"coalesce={not args.no_coalesce})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close(wait=False, cancel_inflight=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -381,6 +467,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": lambda: _cmd_datasets(args),
         "algorithms": _cmd_algorithms,
         "fuzz": lambda: _cmd_fuzz(args),
+        "serve": lambda: _cmd_serve(args),
     }
     return handlers[args.command]()
 

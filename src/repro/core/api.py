@@ -17,7 +17,7 @@ and preprocessing reuse for free.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.result import MatchResult
 from repro.core.session import MatchSession
@@ -41,6 +41,7 @@ def match(
     validate: bool = True,
     kernel: Optional[KernelLike] = None,
     engine: Optional[str] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> MatchResult:
     """Find matches of ``query`` in ``data``.
 
@@ -80,6 +81,11 @@ def match(
         ``REPRO_ENGINE`` environment variable, falling back to the
         registry default. Both engines produce identical results; the
         resolved name is recorded as ``MatchResult.engine``.
+    cancel:
+        Optional zero-argument callable polled by the engine at the
+        deadline stride; once it returns True the enumeration stops and
+        the result reports ``solved=False`` (cooperative preemption —
+        see :mod:`repro.serve`).
 
     Examples
     --------
@@ -104,6 +110,7 @@ def match(
         time_limit=time_limit,
         store_limit=store_limit,
         validate=validate,
+        cancel=cancel,
     )
 
 

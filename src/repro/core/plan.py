@@ -28,9 +28,10 @@ under exact :class:`~repro.graph.graph.Graph` equality.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, List, Optional, Tuple, Union
+from typing import Any, Callable, Hashable, List, Optional, Tuple, Union
 
 from repro.core.algorithms import resolve
 from repro.core.result import MatchResult
@@ -130,10 +131,19 @@ class PreparedQuery:
 
 
 class LRUCache:
-    """A tiny LRU map with hit/miss counters (plan and prep caches).
+    """A tiny thread-safe LRU map with hit/miss counters.
 
     ``capacity=None`` means unbounded; ``capacity=0`` disables the cache
     entirely (every :meth:`get` is a miss and :meth:`put` is a no-op).
+
+    Every operation holds an internal lock: the serving tier shares one
+    :class:`~repro.core.session.MatchSession` (and therefore one plan and
+    one prep cache) across a worker pool, and the unguarded
+    ``hits``/``misses`` read-modify-write plus the ``move_to_end`` /
+    eviction reordering are exactly the races the concurrency stress
+    suite surfaced. Concurrent misses on one key may both compute and
+    both :meth:`put`; the entries are equal by construction, so last
+    write wins harmlessly.
     """
 
     def __init__(self, capacity: Optional[int] = 128) -> None:
@@ -143,46 +153,53 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> Optional[Any]:
-        if self.capacity == 0:
-            self.misses += 1
-            return None
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            if self.capacity == 0:
+                self.misses += 1
+                return None
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        if self.capacity == 0:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        if self.capacity is not None:
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+        with self._lock:
+            if self.capacity == 0:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def info(self) -> dict:
         """Counters + occupancy, in the shape ``cache_info`` reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
 
 def compile_plan(
@@ -299,6 +316,7 @@ def run_plan(
     time_limit: Optional[float] = None,
     store_limit: int = 10_000,
     metrics: Optional[Metrics] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Tuple[MatchResult, PreparedQuery]:
     """Execute a compiled plan on one query; returns (result, prepared).
 
@@ -306,6 +324,13 @@ def run_plan(
     same query), the preprocessing phases are skipped entirely and only
     enumeration runs — the compile-once, run-many path. Otherwise the
     artifacts are built and returned for the caller to cache.
+
+    ``cancel`` is an optional zero-argument callable polled by the engine
+    at the same stride as the time budget; once it returns True the
+    enumeration stops between leaf batches and the result reports
+    ``solved=False``, exactly like a deadline expiry. The serving tier
+    uses this to abort queries whose request deadline passed or whose
+    server is shutting down.
     """
     spec = plan.algorithm
     if metrics is None:
@@ -331,6 +356,11 @@ def run_plan(
             use_failing_sets=spec.failing_sets,
             adaptive=prepared.adaptive_state,
         )
+        run_kwargs = {}
+        if cancel is not None:
+            # Keyword-only and omitted when unused, so engines registered
+            # before the cancellation protocol keep working untouched.
+            run_kwargs["cancel"] = cancel
         with span(
             "enumerate", kernel=prepared.kernel_used, engine=engine_name
         ) as enum_span:
@@ -346,6 +376,7 @@ def run_plan(
                 match_limit=match_limit,
                 time_limit=time_limit,
                 store_limit=store_limit,
+                **run_kwargs,
             )
             enum_span.annotate(
                 num_matches=outcome.num_matches, solved=outcome.solved

@@ -27,15 +27,24 @@ Usage::
     results = session.match_many(more_queries)   # batch form
     session.cache_info()                          # {'plan': {...}, 'prep': {...}}
 
-Sessions are single-threaded (like the algorithms themselves); use one
-session per worker for parallel workloads, as
-:mod:`repro.study.parallel` does. ``match()`` remains the one-shot
-convenience wrapper: it builds a throwaway session per call.
+Sessions are **thread-safe**: the plan and prep caches take an internal
+lock per operation (see :class:`~repro.core.plan.LRUCache`) and the
+session-wide counters are guarded here, so one session may be shared by
+a worker pool — the shape :mod:`repro.serve` runs at traffic scale.
+Each :meth:`match` call still builds its own per-query state (metrics,
+engine, frame machine), so concurrent calls never share mutable
+enumeration state; cached :class:`~repro.core.plan.PreparedQuery`
+artifacts are read-only during enumeration by contract. CPU-bound
+workloads that want parallel *speedup* under the GIL should still prefer
+one session per process, as :mod:`repro.study.parallel` does.
+``match()`` remains the one-shot convenience wrapper: it builds a
+throwaway session per call.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import threading
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.plan import (
     AlgorithmLike,
@@ -108,6 +117,10 @@ class MatchSession:
         #: in the same :class:`~repro.obs.Metrics` currency the study
         #: aggregates, so they merge into any report.
         self.metrics = Metrics()
+        # Metrics.add is a read-modify-write on a plain dict; concurrent
+        # match() calls on a shared session would lose increments without
+        # this guard (the session stress suite checks the totals).
+        self._metrics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -174,6 +187,7 @@ class MatchSession:
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> MatchResult:
         """Find matches of ``query`` in this session's data graph.
 
@@ -181,6 +195,9 @@ class MatchSession:
         argument (the session owns it) — plus the session's caches:
         a repeated query (exact or renumbered) reuses its compiled plan,
         and an exactly repeated query skips preprocessing outright.
+        ``cancel`` is polled by the enumeration engine between leaf
+        batches; once it returns True the run stops as unsolved (the
+        serving tier's preemption hook).
         """
         if validate:
             validate_query(query)
@@ -221,16 +238,18 @@ class MatchSession:
             time_limit=time_limit,
             store_limit=store_limit,
             metrics=metrics,
+            cancel=cancel,
         )
         if prep_enabled and not prep_hit:
             self._prep.put(prep_key, prepared)
 
-        self.metrics.add("session.queries")
-        self.metrics.add("session.plan_cache_hits", int(plan_hit))
-        self.metrics.add("session.plan_cache_misses", int(not plan_hit))
-        if prep_enabled:
-            self.metrics.add("session.prep_cache_hits", int(prep_hit))
-            self.metrics.add("session.prep_cache_misses", int(not prep_hit))
+        with self._metrics_lock:
+            self.metrics.add("session.queries")
+            self.metrics.add("session.plan_cache_hits", int(plan_hit))
+            self.metrics.add("session.plan_cache_misses", int(not plan_hit))
+            if prep_enabled:
+                self.metrics.add("session.prep_cache_hits", int(prep_hit))
+                self.metrics.add("session.prep_cache_misses", int(not prep_hit))
         return result
 
     def match_many(
@@ -243,6 +262,7 @@ class MatchSession:
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> List[MatchResult]:
         """Batch :meth:`match` over ``queries`` (results in input order).
 
@@ -260,6 +280,7 @@ class MatchSession:
                 validate=validate,
                 kernel=kernel,
                 engine=engine,
+                cancel=cancel,
             )
             for query in queries
         ]
@@ -274,8 +295,15 @@ class MatchSession:
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> int:
-        """Number of matches (all of them by default); stores no embeddings."""
+        """Number of matches (all of them by default); stores no embeddings.
+
+        Delegates to :meth:`match`, so per-call ``kernel``/``engine``
+        overrides resolve — and are recorded on the underlying
+        :class:`~repro.core.result.MatchResult` — exactly as they are for
+        a direct :meth:`match` call (pinned by a regression test).
+        """
         return self.match(
             query,
             algorithm=algorithm,
@@ -285,6 +313,7 @@ class MatchSession:
             validate=validate,
             kernel=kernel,
             engine=engine,
+            cancel=cancel,
         ).num_matches
 
     def has_match(
@@ -295,8 +324,13 @@ class MatchSession:
         validate: bool = True,
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> bool:
-        """Whether at least one match exists (stops at the first)."""
+        """Whether at least one match exists (stops at the first).
+
+        Delegates to :meth:`match`; per-call overrides behave exactly as
+        they do there (see :meth:`count_matches`).
+        """
         return (
             self.match(
                 query,
@@ -307,6 +341,7 @@ class MatchSession:
                 validate=validate,
                 kernel=kernel,
                 engine=engine,
+                cancel=cancel,
             ).num_matches
             > 0
         )

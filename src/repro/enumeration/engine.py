@@ -23,7 +23,7 @@ that differential baseline (select it with ``engine="recursive"``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import BudgetExceeded
 from repro.filtering.auxiliary import AuxiliaryStructure
@@ -87,6 +87,7 @@ class BacktrackingEngine:
         match_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         store_limit: int = 10_000,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> EnumerationOutcome:
         """Enumerate matches of ``query`` in ``data``.
 
@@ -95,7 +96,8 @@ class BacktrackingEngine:
         must use its BFS-tree parent so Algorithm 4 hits the tree-scoped
         index); otherwise the φ-earliest backward neighbor is the parent.
         ``store_limit`` caps how many embeddings are retained (counting is
-        unaffected).
+        unaffected). ``cancel`` is polled at the deadline stride;
+        returning True aborts the search as unsolved.
         """
         n = query.num_vertices
         ctx = LCContext(
@@ -111,6 +113,7 @@ class BacktrackingEngine:
         self._ctx = ctx
         self._stats = EnumerationStats()
         self._deadline = Deadline(time_limit) if time_limit else None
+        self._cancel = cancel
         self._tick = DEADLINE_STRIDE
         self._match_limit = match_limit
         self._num_matches = 0
@@ -176,6 +179,8 @@ class BacktrackingEngine:
         if self._tick <= 0:
             self._tick = DEADLINE_STRIDE
             if self._deadline is not None and self._deadline.expired():
+                raise BudgetExceeded
+            if self._cancel is not None and self._cancel():
                 raise BudgetExceeded
 
 

@@ -45,7 +45,7 @@ scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -164,9 +164,11 @@ class FrameMachine:
         match_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         store_limit: int = 10_000,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> EnumerationOutcome:
         """Enumerate matches of ``query`` in ``data``; see the recursive
-        engine for the parameter contract."""
+        engine for the parameter contract. ``cancel`` is polled at the
+        deadline stride; returning True aborts the search as unsolved."""
         self.start(
             query,
             data,
@@ -178,6 +180,7 @@ class FrameMachine:
             time_limit=time_limit,
             store_limit=store_limit,
             emit_rows=False,
+            cancel=cancel,
         )
         with Timer() as timer:
             while self.advance() is not None:
@@ -206,6 +209,7 @@ class FrameMachine:
         time_limit: Optional[float] = None,
         store_limit: int = 10_000,
         emit_rows: bool = False,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> "FrameMachine":
         """Initialize the machine at the root of the search tree.
 
@@ -213,6 +217,13 @@ class FrameMachine:
         leaf batch as an int64 row array (one row per match, columns
         indexed by query vertex); with ``emit_rows=False`` matches are
         only counted/stored and :meth:`advance` runs to completion.
+
+        ``cancel`` (a zero-argument callable) is polled together with the
+        deadline every :data:`~repro.enumeration.support.DEADLINE_STRIDE`
+        expansion steps; once it returns True the machine stops where it
+        stands — between leaf batches — and reports ``solved=False``.
+        This is the cooperative preemption hook the serving tier maps
+        request deadlines and shutdown onto.
         """
         n = query.num_vertices
         self._n = n
@@ -232,6 +243,7 @@ class FrameMachine:
         self._ctx = ctx
         self._stats = EnumerationStats()
         self._deadline = Deadline(time_limit) if time_limit else None
+        self._cancel = cancel
         self._tick = DEADLINE_STRIDE
         self._match_limit = match_limit
         self._num_matches = 0
@@ -304,6 +316,8 @@ class FrameMachine:
         if self._tick <= 0:
             self._tick = DEADLINE_STRIDE
             if self._deadline is not None and self._deadline.expired():
+                raise BudgetExceeded
+            if self._cancel is not None and self._cancel():
                 raise BudgetExceeded
 
     def _push(self, depth: int) -> bool:

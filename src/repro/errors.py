@@ -34,3 +34,27 @@ class BudgetExceeded(ReproError):
     The enumeration engine catches this and reports the query as unsolved;
     it never escapes the public API.
     """
+
+
+class ServeError(ReproError):
+    """Base class for serving-tier (:mod:`repro.serve`) failures."""
+
+
+class UnknownGraphError(ServeError):
+    """A request named a resident graph the service does not hold."""
+
+
+class QueueFullError(ServeError):
+    """Admission rejected a request because the pending queue is full.
+
+    This is backpressure, not failure: the caller should retry later or
+    shed load. ``submit`` raises it immediately instead of blocking.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """Admission rejected a request whose budget was already spent."""
+
+
+class ServiceClosedError(ServeError):
+    """A request arrived after the service shut down."""

@@ -34,11 +34,13 @@ from repro.obs.metrics import (
 from repro.obs.schema import (
     BENCH_ENGINE_SCHEMA_VERSION,
     BENCH_KERNELS_SCHEMA_VERSION,
+    BENCH_SERVER_SCHEMA_VERSION,
     BENCH_SESSION_SCHEMA_VERSION,
     TRACE_SCHEMA,
     TraceSchemaError,
     validate_bench_engine,
     validate_bench_kernels,
+    validate_bench_server,
     validate_bench_session,
     validate_trace_file,
     validate_trace_lines,
@@ -74,10 +76,12 @@ __all__ = [
     "TRACE_SCHEMA",
     "BENCH_ENGINE_SCHEMA_VERSION",
     "BENCH_KERNELS_SCHEMA_VERSION",
+    "BENCH_SERVER_SCHEMA_VERSION",
     "BENCH_SESSION_SCHEMA_VERSION",
     "TraceSchemaError",
     "validate_bench_engine",
     "validate_bench_kernels",
+    "validate_bench_server",
     "validate_bench_session",
     "validate_trace_file",
     "validate_trace_lines",

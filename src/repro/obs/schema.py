@@ -30,6 +30,12 @@ dependency):
   :class:`~repro.enumeration.engine.BacktrackingEngine` vs the iterative
   :class:`~repro.enumeration.frames.FrameMachine` per preset, with match
   totals and a byte-identical-embeddings attestation.
+
+* **BENCH_server.json** (``benchmarks/bench_server.py``): the serving
+  tier under a duplicate-heavy multi-tenant workload — sustained QPS and
+  p50/p99 latency through :class:`~repro.serve.service.MatchService`
+  with request coalescing on vs off, plus the ``serve.*`` counters and a
+  results-agree attestation.
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ __all__ = [
     "validate_bench_session",
     "BENCH_ENGINE_SCHEMA_VERSION",
     "validate_bench_engine",
+    "BENCH_SERVER_SCHEMA_VERSION",
+    "validate_bench_server",
 ]
 
 #: Identifier stamped into every trace header line.
@@ -62,6 +70,9 @@ BENCH_SESSION_SCHEMA_VERSION = 1
 
 #: Version stamped into BENCH_engine.json payloads.
 BENCH_ENGINE_SCHEMA_VERSION = 1
+
+#: Version stamped into BENCH_server.json payloads.
+BENCH_SERVER_SCHEMA_VERSION = 1
 
 #: Span end may precede a parent's end by this much (float timer jitter).
 _NEST_SLACK = 1e-9
@@ -377,4 +388,93 @@ def validate_bench_engine(payload: Dict[str, Any]) -> None:
         isinstance(payload.get("overall_speedup"), (int, float))
         and payload["overall_speedup"] > 0,
         "overall_speedup must be a positive number",
+    )
+
+
+def validate_bench_server(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_server.json payload against the current schema.
+
+    The payload measures :class:`~repro.serve.service.MatchService`
+    throughput on a duplicate-heavy multi-tenant workload, with request
+    coalescing on vs off. Beyond shape, the validator enforces the
+    benchmark's claims: the coalescing run must actually have coalesced
+    requests, it must not execute more often than the uncoalesced run,
+    and both modes must agree on every response's match count
+    (``results_agree``) — a service that goes faster by answering
+    differently fails here.
+    """
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_SERVER_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_SERVER_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "server-throughput",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+    workload = payload.get("workload")
+    _require(isinstance(workload, dict), "workload must be an object")
+    for key in (
+        "data_vertices",
+        "tenants",
+        "clients",
+        "workers",
+        "distinct_queries",
+        "requests_per_client",
+        "total_requests",
+    ):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"workload.{key} must be a positive int",
+        )
+    _require(
+        workload["total_requests"]
+        == workload["clients"] * workload["requests_per_client"],
+        "workload.total_requests must equal clients * requests_per_client",
+    )
+    modes = {}
+    for mode in ("coalescing_on", "coalescing_off"):
+        stats = payload.get(mode)
+        _require(isinstance(stats, dict), f"{mode} must be an object")
+        for key in ("seconds_total", "qps", "p50_ms", "p99_ms"):
+            _require(
+                isinstance(stats.get(key), (int, float)) and stats[key] > 0,
+                f"{mode}.{key} must be a positive number",
+            )
+        _require(
+            stats["p99_ms"] + 1e-9 >= stats["p50_ms"],
+            f"{mode}: p99_ms must be >= p50_ms",
+        )
+        counters = stats.get("counters")
+        _require(isinstance(counters, dict), f"{mode}.counters must be an object")
+        for key in ("serve.admitted", "serve.executed", "serve.completed"):
+            _require(
+                isinstance(counters.get(key), int) and counters[key] >= 0,
+                f"{mode}.counters[{key!r}] must be a non-negative int",
+            )
+        _require(
+            counters["serve.completed"] == workload["total_requests"],
+            f"{mode}: serve.completed ({counters.get('serve.completed')}) "
+            f"must equal the {workload['total_requests']}-request workload",
+        )
+        modes[mode] = stats
+    on, off = modes["coalescing_on"], modes["coalescing_off"]
+    _require(
+        on["counters"].get("serve.coalesced", 0) > 0,
+        "coalescing_on must report serve.coalesced > 0 "
+        "(the duplicate-heavy workload never coalesced)",
+    )
+    _require(
+        on["counters"]["serve.executed"] <= off["counters"]["serve.executed"],
+        "coalescing_on must not execute more often than coalescing_off",
+    )
+    speedup = payload.get("speedup_coalescing_effective_qps")
+    _require(
+        isinstance(speedup, (int, float)) and speedup > 0,
+        "speedup_coalescing_effective_qps must be a positive number",
+    )
+    _require(
+        payload.get("results_agree") is True,
+        "results_agree must be true (modes returned different match counts)",
     )

@@ -1,0 +1,65 @@
+"""Injectable clocks for the serving tier.
+
+Admission control and deadline accounting in :mod:`repro.serve.service`
+read time exclusively through a :class:`Clock`, so the concurrency test
+suite can drive every deadline scenario deterministically with a
+:class:`FakeClock` — no test ever sleeps on the wall clock to "wait for"
+a budget to expire.
+
+The clock is monotonic seconds (``time.monotonic`` semantics): only
+differences are meaningful, the epoch is arbitrary. Engine-internal
+enumeration budgets (``time_limit``) still run on the real wall clock —
+the service maps a request's *remaining* budget onto them at execution
+start, which is the only point where the two time bases meet.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock:
+    """Minimal monotonic-clock interface: ``now() -> float`` seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real monotonic clock (production default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic deadline tests.
+
+    Thread-safe: the service reads it from worker threads while the test
+    advances it from the main thread.
+
+    >>> clock = FakeClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(2.5)
+    >>> clock.now()
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self._now += float(seconds)

@@ -1,0 +1,576 @@
+"""Matching-as-a-service: the concurrent multi-tenant serving core.
+
+The paper's study loop is one process running one query at a time; the
+serving regime this repository grows toward is many tenants hammering a
+few long-lived resident graphs. :class:`MatchService` is that tier,
+built directly on the layers below it:
+
+* **named resident graphs** — registered once, served forever (the
+  Engram/mnemon shape: the graph is the database);
+* **per-tenant session pools** — one thread-safe
+  :class:`~repro.core.session.MatchSession` per ``(tenant, graph)``, so
+  every tenant amortizes its own plan/prep caches without cross-tenant
+  interference in cache occupancy;
+* **admission control** — a bounded pending queue (`max_queue_depth`)
+  that rejects with :class:`~repro.errors.QueueFullError` *immediately*
+  instead of blocking (backpressure), and per-request budgets that
+  reject spent requests with
+  :class:`~repro.errors.DeadlineExceededError` before they enqueue;
+* **deadline propagation** — a request's remaining budget at execution
+  start becomes the engine's ``time_limit``, and a ``cancel`` hook
+  polled between the frame machine's leaf batches aborts enumerations
+  whose deadline (or whose server) died mid-flight;
+* **request coalescing** — identical in-flight queries (same graph,
+  config and *exact* query graph, so embeddings are byte-identical)
+  share one execution: the first becomes the leader, later arrivals
+  attach as waiters and all futures resolve from the single result;
+* **observability** — ``serve.*`` counters and phase timings in the
+  :mod:`repro.obs` currency, exposed via :attr:`MatchService.metrics`
+  and :meth:`MatchService.stats`.
+
+All time is read through an injectable :class:`~repro.serve.clock.Clock`
+so the concurrency suite drives deadlines deterministically.
+
+Usage::
+
+    with MatchService(workers=4, max_queue_depth=64) as service:
+        service.add_graph("social", data)
+        future = service.submit(query, graph="social", tenant="alice",
+                                budget=0.5)
+        response = future.result()
+        response.result.num_matches
+
+Counter glossary (``service.metrics.counters``):
+
+``serve.requests``              every submit attempt
+``serve.admitted``              requests that entered the queue (incl. coalesced)
+``serve.coalesced``             requests attached to an in-flight execution
+``serve.executed``              actual session.match executions
+``serve.completed``             responses delivered with a result
+``serve.expired``               admitted requests whose deadline passed before
+                                execution started (no enumeration ran)
+``serve.unsolved``              executions stopped by deadline/cancel mid-flight
+``serve.errors``                executions that raised
+``serve.rejected_queue_full``   backpressure rejections at admission
+``serve.rejected_deadline``     spent-budget rejections at admission
+``serve.rejected_unknown_graph``/``serve.rejected_invalid``
+                                admission rejections for bad requests
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.plan import AlgorithmLike, KernelLike, validate_query
+from repro.core.result import MatchResult
+from repro.core.session import MatchSession
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidQueryError,
+    QueueFullError,
+    ServiceClosedError,
+    UnknownGraphError,
+)
+from repro.graph.graph import Graph
+from repro.obs import Metrics, span
+from repro.serve.clock import Clock, SystemClock
+
+__all__ = ["MatchService", "ServeResponse"]
+
+
+@dataclass
+class ServeResponse:
+    """One served request's outcome plus its service-side timings."""
+
+    #: ``"ok"`` (result attached) or ``"expired"`` (deadline passed while
+    #: queued; no enumeration ran for this request).
+    status: str
+    tenant: str
+    graph: str
+    #: True when this request rode another request's execution.
+    coalesced: bool
+    #: Admission → execution start, in service-clock seconds.
+    queue_seconds: float
+    #: Admission → response, in service-clock seconds.
+    total_seconds: float
+    result: Optional[MatchResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class _Waiter:
+    """One admitted request: its future, deadline and timestamps."""
+
+    __slots__ = ("future", "tenant", "admitted_at", "deadline", "expired", "coalesced")
+
+    def __init__(
+        self,
+        tenant: str,
+        admitted_at: float,
+        deadline: Optional[float],
+        coalesced: bool,
+    ) -> None:
+        self.future: "Future[ServeResponse]" = Future()
+        self.tenant = tenant
+        self.admitted_at = admitted_at
+        self.deadline = deadline
+        self.expired = False
+        self.coalesced = coalesced
+
+    def is_past(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass
+class _Entry:
+    """One execution: the leader's request plus every attached waiter."""
+
+    key: Tuple
+    query: Graph
+    graph_name: str
+    tenant: str
+    algorithm: Optional[AlgorithmLike]
+    kernel: Optional[KernelLike]
+    engine: Optional[str]
+    match_limit: Optional[int]
+    store_limit: int
+    waiters: List[_Waiter] = field(default_factory=list)
+    #: Once True the entry left the in-flight map; no waiter may attach.
+    closed: bool = False
+
+
+class MatchService:
+    """A thread-pool matching service over resident graphs and sessions.
+
+    Parameters
+    ----------
+    workers:
+        Executor threads running the CPU-bound matching. Under the GIL
+        the win is latency overlap and coalescing, not parallel speedup.
+    max_queue_depth:
+        Maximum pending executions (queued + running). Admission beyond
+        it raises :class:`~repro.errors.QueueFullError` immediately.
+        Coalesced waiters piggyback on their leader's slot.
+    default_budget:
+        Budget in seconds applied to requests that bring none
+        (``None`` = unbounded).
+    coalesce:
+        Share one execution among identical in-flight requests.
+    algorithm / kernel / engine:
+        Service-wide defaults, overridable per request.
+    clock:
+        Time source for admission and deadline bookkeeping (tests inject
+        :class:`~repro.serve.clock.FakeClock`).
+    plan_cache_size / prep_cache_size:
+        Forwarded to each tenant session.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_queue_depth: int = 64,
+        default_budget: Optional[float] = None,
+        coalesce: bool = True,
+        algorithm: AlgorithmLike = "recommended",
+        kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
+        clock: Optional[Clock] = None,
+        plan_cache_size: Optional[int] = 256,
+        prep_cache_size: Optional[int] = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.default_budget = default_budget
+        self.coalesce = coalesce
+        self.algorithm = algorithm
+        self.kernel = kernel
+        self.engine = engine
+        self.clock = clock if clock is not None else SystemClock()
+        self._plan_cache_size = plan_cache_size
+        self._prep_cache_size = prep_cache_size
+
+        self._graphs: Dict[str, Graph] = {}
+        self._sessions: Dict[Tuple[str, str], MatchSession] = {}
+        self._inflight: Dict[Tuple, _Entry] = {}
+        self._pending = 0
+        self.queue_depth_peak = 0
+        self._closed = False
+        self._cancel_event = threading.Event()
+        self._lock = threading.Lock()
+
+        self.metrics = Metrics()
+        self._metrics_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # Resident graphs and sessions
+    # ------------------------------------------------------------------
+
+    def add_graph(self, name: str, graph: Graph) -> None:
+        """Register ``graph`` as the resident graph named ``name``."""
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        with self._lock:
+            self._graphs[name] = graph
+
+    def remove_graph(self, name: str) -> None:
+        """Drop a resident graph and every session built on it."""
+        with self._lock:
+            self._graphs.pop(name, None)
+            for key in [k for k in self._sessions if k[1] == name]:
+                del self._sessions[key]
+
+    def graphs(self) -> List[str]:
+        """Names of the resident graphs, sorted."""
+        with self._lock:
+            return sorted(self._graphs)
+
+    def session_for(self, tenant: str, graph_name: str) -> MatchSession:
+        """The (created-on-demand) session serving one tenant on one graph."""
+        with self._lock:
+            try:
+                return self._sessions[(tenant, graph_name)]
+            except KeyError:
+                pass
+            try:
+                data = self._graphs[graph_name]
+            except KeyError:
+                raise UnknownGraphError(
+                    f"no resident graph named {graph_name!r}"
+                ) from None
+            session = MatchSession(
+                data,
+                algorithm=self.algorithm,
+                kernel=self.kernel,
+                engine=self.engine,
+                plan_cache_size=self._plan_cache_size,
+                prep_cache_size=self._prep_cache_size,
+            )
+            self._sessions[(tenant, graph_name)] = session
+            return session
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _metrics_add(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.add(name, amount)
+
+    def _record_phase(self, phase: str, seconds: float) -> None:
+        with self._metrics_lock:
+            self.metrics.record_phase(phase, seconds)
+
+    def _coalesce_key(
+        self,
+        graph_name: str,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike],
+        kernel: Optional[KernelLike],
+        engine: Optional[str],
+        match_limit: Optional[int],
+        store_limit: int,
+    ) -> Tuple:
+        # Exact-graph keying (Graph hashes its label and CSR arrays):
+        # fingerprint-equal renumberings have *different* embeddings, so
+        # only byte-identical queries may share an execution.
+        algo = self.algorithm if algorithm is None else algorithm
+        kern = self.kernel if kernel is None else kernel
+        eng = self.engine if engine is None else engine
+        return (
+            graph_name,
+            MatchSession._algorithm_key(algo),
+            MatchSession._kernel_key(kern),
+            eng,
+            match_limit,
+            store_limit,
+            query,
+        )
+
+    def submit(
+        self,
+        query: Graph,
+        graph: str = "default",
+        tenant: str = "public",
+        algorithm: Optional[AlgorithmLike] = None,
+        kernel: Optional[KernelLike] = None,
+        engine: Optional[str] = None,
+        match_limit: Optional[int] = 100_000,
+        store_limit: int = 10_000,
+        budget: Optional[float] = None,
+        validate: bool = True,
+    ) -> "Future[ServeResponse]":
+        """Admit one request; returns a future resolving to its response.
+
+        Rejections raise synchronously — :class:`UnknownGraphError`,
+        :class:`InvalidQueryError`, :class:`DeadlineExceededError` (spent
+        budget), :class:`QueueFullError` (backpressure) — so a rejected
+        request never occupies a queue slot and never reaches an engine.
+        """
+        self._metrics_add("serve.requests")
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        if validate:
+            try:
+                validate_query(query)
+            except InvalidQueryError:
+                self._metrics_add("serve.rejected_invalid")
+                raise
+        effective_budget = (
+            self.default_budget if budget is None else budget
+        )
+        if effective_budget is not None and effective_budget <= 0:
+            self._metrics_add("serve.rejected_deadline")
+            raise DeadlineExceededError(
+                f"request budget {effective_budget!r}s is already spent"
+            )
+        now = self.clock.now()
+        deadline = (
+            now + effective_budget if effective_budget is not None else None
+        )
+        key = self._coalesce_key(
+            graph, query, algorithm, kernel, engine, match_limit, store_limit
+        )
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            if graph not in self._graphs:
+                self._metrics_add("serve.rejected_unknown_graph")
+                raise UnknownGraphError(f"no resident graph named {graph!r}")
+            entry = self._inflight.get(key) if self.coalesce else None
+            if entry is not None and not entry.closed:
+                waiter = _Waiter(tenant, now, deadline, coalesced=True)
+                entry.waiters.append(waiter)
+                self._metrics_add("serve.admitted")
+                self._metrics_add("serve.coalesced")
+                return waiter.future
+            if self._pending >= self.max_queue_depth:
+                self._metrics_add("serve.rejected_queue_full")
+                raise QueueFullError(
+                    f"pending queue is full ({self.max_queue_depth}); "
+                    "retry later"
+                )
+            self._pending += 1
+            if self._pending > self.queue_depth_peak:
+                self.queue_depth_peak = self._pending
+            waiter = _Waiter(tenant, now, deadline, coalesced=False)
+            entry = _Entry(
+                key=key,
+                query=query,
+                graph_name=graph,
+                tenant=tenant,
+                algorithm=algorithm,
+                kernel=kernel,
+                engine=engine,
+                match_limit=match_limit,
+                store_limit=store_limit,
+                waiters=[waiter],
+            )
+            if self.coalesce:
+                self._inflight[key] = entry
+            self._metrics_add("serve.admitted")
+
+        try:
+            self._executor.submit(self._run, entry)
+        except RuntimeError:
+            # Executor shut down between the check and the submit.
+            with self._lock:
+                self._inflight.pop(key, None)
+                entry.closed = True
+                self._pending -= 1
+            raise ServiceClosedError("service is shut down") from None
+        return waiter.future
+
+    def match(self, query: Graph, **kwargs: Any) -> ServeResponse:
+        """Synchronous convenience: :meth:`submit` then wait."""
+        return self.submit(query, **kwargs).result()
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+
+    def _close_entry(self, entry: _Entry) -> None:
+        """Detach the entry and free its queue slot, exactly once.
+
+        Must run *before* any waiter future resolves: a caller that sees
+        its result and immediately resubmits must find the slot free, or
+        a drained queue would still bounce requests with QueueFullError.
+        """
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            if not entry.closed:
+                entry.closed = True
+                self._pending -= 1
+
+    def _run(self, entry: _Entry) -> None:
+        clock = self.clock
+        try:
+            started = clock.now()
+            with self._lock:
+                live = [w for w in entry.waiters if not w.is_past(started)]
+                for w in entry.waiters:
+                    if w not in live:
+                        w.expired = True
+                if not live:
+                    # Every waiter's deadline passed while queued: close
+                    # the entry under the lock (so nobody attaches to a
+                    # skipped execution) and run nothing at all.
+                    self._inflight.pop(entry.key, None)
+            if not live:
+                self._close_entry(entry)
+                self._resolve(entry, started, result=None, error=None)
+                return
+
+            # The most generous live deadline drives the execution: every
+            # live waiter shares this one run.
+            if any(w.deadline is None for w in live):
+                exec_deadline = None
+                time_limit = None
+            else:
+                exec_deadline = max(w.deadline for w in live)
+                time_limit = max(exec_deadline - started, 1e-6)
+
+            def cancelled() -> bool:
+                # Polled by the engine between leaf batches: stop when the
+                # service shuts down or the service-clock deadline passes
+                # (the wall-clock time_limit is the belt to this brace).
+                if self._cancel_event.is_set():
+                    return True
+                return (
+                    exec_deadline is not None
+                    and clock.now() >= exec_deadline
+                )
+
+            result: Optional[MatchResult] = None
+            error: Optional[BaseException] = None
+            try:
+                session = self.session_for(entry.tenant, entry.graph_name)
+                with span(
+                    "serve.execute",
+                    graph=entry.graph_name,
+                    tenant=entry.tenant,
+                ):
+                    result = session.match(
+                        entry.query,
+                        algorithm=entry.algorithm,
+                        match_limit=entry.match_limit,
+                        time_limit=time_limit,
+                        store_limit=entry.store_limit,
+                        validate=False,  # validated at admission
+                        kernel=entry.kernel,
+                        engine=entry.engine,
+                        cancel=cancelled,
+                    )
+                self._metrics_add("serve.executed")
+                if not result.solved:
+                    self._metrics_add("serve.unsolved")
+            except BaseException as exc:  # delivered via the futures
+                error = exc
+                self._metrics_add("serve.errors")
+            finally:
+                self._close_entry(entry)
+            self._record_phase("serve.queue", started - entry.waiters[0].admitted_at)
+            self._resolve(entry, started, result=result, error=error)
+        finally:
+            self._close_entry(entry)  # idempotent leak guard
+
+    def _resolve(
+        self,
+        entry: _Entry,
+        started: float,
+        result: Optional[MatchResult],
+        error: Optional[BaseException],
+    ) -> None:
+        """Fan the outcome out to every waiter (entry is closed by now)."""
+        end = self.clock.now()
+        if result is not None:
+            self._record_phase("serve.execute", end - started)
+        for waiter in entry.waiters:
+            if error is not None:
+                waiter.future.set_exception(error)
+                continue
+            if waiter.expired or result is None:
+                self._metrics_add("serve.expired")
+                waiter.future.set_result(
+                    ServeResponse(
+                        status="expired",
+                        tenant=waiter.tenant,
+                        graph=entry.graph_name,
+                        coalesced=waiter.coalesced,
+                        queue_seconds=started - waiter.admitted_at,
+                        total_seconds=end - waiter.admitted_at,
+                    )
+                )
+                continue
+            self._metrics_add("serve.completed")
+            waiter.future.set_result(
+                ServeResponse(
+                    status="ok",
+                    tenant=waiter.tenant,
+                    graph=entry.graph_name,
+                    coalesced=waiter.coalesced,
+                    queue_seconds=started - waiter.admitted_at,
+                    total_seconds=end - waiter.admitted_at,
+                    result=result,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A point-in-time snapshot: counters, queue depth, residents."""
+        with self._lock:
+            graphs = sorted(self._graphs)
+            sessions = len(self._sessions)
+            pending = self._pending
+            inflight = len(self._inflight)
+            peak = self.queue_depth_peak
+        with self._metrics_lock:
+            counters = dict(self.metrics.counters)
+            phases = dict(self.metrics.phase_seconds)
+        return {
+            "graphs": graphs,
+            "sessions": sessions,
+            "pending": pending,
+            "inflight": inflight,
+            "queue_depth_peak": peak,
+            "counters": counters,
+            "phase_seconds": phases,
+        }
+
+    def close(self, wait: bool = True, cancel_inflight: bool = False) -> None:
+        """Stop admitting; optionally preempt running enumerations.
+
+        ``cancel_inflight=True`` trips the engines' cancel hook so
+        long-running enumerations stop at their next leaf-batch boundary
+        (their waiters see ``solved=False`` partial results).
+        """
+        self._closed = True
+        if cancel_inflight:
+            self._cancel_event.set()
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            graphs = len(self._graphs)
+            pending = self._pending
+        return f"MatchService(graphs={graphs}, pending={pending})"

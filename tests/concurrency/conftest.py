@@ -1,0 +1,36 @@
+"""Concurrency-suite safety net: a process-level deadlock watchdog.
+
+Every test in this directory coordinates threads with barriers, events
+and futures. A bug that deadlocks them would hang the whole pytest run
+forever — worse than a failure. The autouse fixture below arms
+``faulthandler.dump_traceback_later`` around each test: if a test runs
+past the watchdog timeout, every thread's traceback is dumped to stderr
+and the process exits hard, so CI (and the 50-consecutive-runs flake
+gate) sees *which* threads were stuck instead of a silent timeout.
+
+The budget is generous — the suite never sleeps on the wall clock (all
+deadline scenarios run on :class:`repro.serve.FakeClock`), so a healthy
+run finishes in seconds; only a real deadlock can reach the watchdog.
+In CI the ``pytest-timeout`` plugin additionally boxes each test; that
+plugin is not a local dependency, so this fixture is the portable
+fallback.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+#: Per-test watchdog budget in seconds (override: REPRO_CONCURRENCY_TEST_TIMEOUT).
+WATCHDOG_SECONDS = float(os.environ.get("REPRO_CONCURRENCY_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def deadlock_watchdog():
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

@@ -1,0 +1,155 @@
+"""Coalescing parity: K identical requests, one execution, equal answers.
+
+The deterministic recipe: replace the service's ``_run`` with a gated
+version that blocks every worker on an Event. The first submit becomes
+the leader and parks; because attachment happens synchronously inside
+``submit`` (under the service lock, while the entry is still in-flight),
+every later identical submit *must* attach as a waiter — no race, no
+sleep. Releasing the gate lets the single execution run and fan out.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+from repro.serve import MatchService
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def data():
+    return erdos_renyi_graph(120, 6.0, 4, seed=33)
+
+
+@pytest.fixture(scope="module")
+def query(data):
+    return extract_query(data, 5, seed=5)
+
+
+def gated_service(data, **kwargs):
+    """A service whose executions all park until ``gate`` is set."""
+    service = MatchService(workers=K, **kwargs)
+    service.add_graph("g", data)
+    gate = threading.Event()
+    inner_run = service._run
+
+    def run_when_released(entry):
+        gate.wait(timeout=60)
+        inner_run(entry)
+
+    service._run = run_when_released
+    return service, gate
+
+
+class TestCoalescingParity:
+    def test_k_identical_requests_execute_once(self, data, query):
+        solo = MatchService(workers=1)
+        solo.add_graph("g", data)
+        solo_result = solo.match(query, graph="g").result
+        solo.close()
+
+        service, gate = gated_service(data)
+        try:
+            futures = [
+                service.submit(query, graph="g", tenant=f"t{i % 3}")
+                for i in range(K)
+            ]
+            gate.set()
+            responses = [f.result(timeout=60) for f in futures]
+        finally:
+            service.close()
+
+        counters = service.metrics.counters
+        assert counters["serve.executed"] == 1
+        assert counters["serve.coalesced"] == K - 1
+        assert counters["serve.completed"] == K
+        assert sum(1 for r in responses if not r.coalesced) == 1
+        assert sum(1 for r in responses if r.coalesced) == K - 1
+        for response in responses:
+            assert response.status == "ok"
+            assert response.result.embeddings == solo_result.embeddings
+            assert response.result.num_matches == solo_result.num_matches
+
+    def test_barrier_released_clients_still_coalesce_to_one(self, data, query):
+        # The adversarial version: K client *threads* submit through a
+        # barrier. Submissions interleave arbitrarily, but the gate keeps
+        # the first entry in-flight, so exactly one execution happens.
+        service, gate = gated_service(data)
+        barrier = threading.Barrier(K)
+        futures = [None] * K
+        errors = []
+
+        def client(i):
+            try:
+                barrier.wait()
+                futures[i] = service.submit(query, graph="g", tenant=f"t{i}")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(K)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            gate.set()
+            responses = [f.result(timeout=60) for f in futures]
+        finally:
+            service.close()
+
+        counters = service.metrics.counters
+        assert counters["serve.executed"] == 1
+        assert counters["serve.coalesced"] == K - 1
+        first = responses[0].result.embeddings
+        assert all(r.result.embeddings == first for r in responses)
+
+    def test_different_queries_do_not_coalesce(self, data):
+        queries = [extract_query(data, 5, seed=s) for s in (7, 8)]
+        service, gate = gated_service(data)
+        try:
+            f1 = service.submit(queries[0], graph="g")
+            f2 = service.submit(queries[1], graph="g")
+            gate.set()
+            for f in (f1, f2):
+                assert f.result(timeout=60).status == "ok"
+        finally:
+            service.close()
+        assert service.metrics.counters["serve.executed"] == 2
+        assert service.metrics.counters.get("serve.coalesced", 0) == 0
+
+    def test_isomorphic_but_renumbered_queries_do_not_coalesce(self, data):
+        # Same fingerprint class, different vertex numbering: embeddings
+        # differ per numbering, so sharing an execution would be wrong.
+        q1 = Graph(labels=[0, 1, 0], edges=[(0, 1), (1, 2)])
+        q2 = Graph(labels=[0, 0, 1], edges=[(0, 2), (2, 1)])
+        service, gate = gated_service(data)
+        try:
+            f1 = service.submit(q1, graph="g")
+            f2 = service.submit(q2, graph="g")
+            gate.set()
+            r1, r2 = f1.result(timeout=60), f2.result(timeout=60)
+        finally:
+            service.close()
+        assert service.metrics.counters["serve.executed"] == 2
+        assert r1.result.num_matches == r2.result.num_matches
+
+    def test_coalescing_disabled_runs_every_request(self, data, query):
+        service, gate = gated_service(data, coalesce=False)
+        try:
+            futures = [service.submit(query, graph="g") for _ in range(4)]
+            gate.set()
+            responses = [f.result(timeout=60) for f in futures]
+        finally:
+            service.close()
+        assert service.metrics.counters["serve.executed"] == 4
+        assert service.metrics.counters.get("serve.coalesced", 0) == 0
+        first = responses[0].result.embeddings
+        assert all(r.result.embeddings == first for r in responses)

@@ -1,0 +1,211 @@
+"""Deadline and backpressure semantics, deterministic on a FakeClock.
+
+No test here sleeps on the wall clock. Time is a
+:class:`repro.serve.FakeClock` the test advances by hand; queue
+occupancy is forced with a gated execution seam (an Event the worker
+parks on), so every scenario — budget spent in the queue, queue full,
+spent-at-admission — is driven to its exact boundary and asserted.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidQueryError,
+    QueueFullError,
+    ServiceClosedError,
+    UnknownGraphError,
+)
+from repro.graph import Graph, erdos_renyi_graph, extract_query
+from repro.serve import FakeClock, MatchService
+
+
+@pytest.fixture(scope="module")
+def data():
+    return erdos_renyi_graph(100, 5.0, 4, seed=44)
+
+
+@pytest.fixture(scope="module")
+def query(data):
+    return extract_query(data, 5, seed=2)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def gated_service(data, clock, **kwargs):
+    service = MatchService(workers=1, clock=clock, **kwargs)
+    service.add_graph("g", data)
+    gate = threading.Event()
+    inner_run = service._run
+
+    def run_when_released(entry):
+        gate.wait(timeout=60)
+        inner_run(entry)
+
+    service._run = run_when_released
+    return service, gate
+
+
+class TestAdmission:
+    def test_spent_budget_rejected_at_submit(self, data, clock, query):
+        service = MatchService(workers=1, clock=clock)
+        service.add_graph("g", data)
+        try:
+            with pytest.raises(DeadlineExceededError):
+                service.submit(query, graph="g", budget=0.0)
+            with pytest.raises(DeadlineExceededError):
+                service.submit(query, graph="g", budget=-1.0)
+            counters = service.metrics.counters
+            assert counters["serve.rejected_deadline"] == 2
+            # Nothing was admitted, nothing ran.
+            assert counters.get("serve.admitted", 0) == 0
+            assert counters.get("serve.executed", 0) == 0
+        finally:
+            service.close()
+
+    def test_default_budget_applies_when_request_brings_none(
+        self, data, clock, query
+    ):
+        service = MatchService(workers=1, clock=clock, default_budget=0.0)
+        service.add_graph("g", data)
+        try:
+            with pytest.raises(DeadlineExceededError):
+                service.submit(query, graph="g")
+            # An explicit budget overrides the default.
+            assert service.match(query, graph="g", budget=5.0).status == "ok"
+        finally:
+            service.close()
+
+    def test_unknown_graph_and_invalid_query_rejected(self, data, clock, query):
+        service = MatchService(workers=1, clock=clock)
+        service.add_graph("g", data)
+        try:
+            with pytest.raises(UnknownGraphError):
+                service.submit(query, graph="missing")
+            with pytest.raises(InvalidQueryError):
+                # Two vertices: below the paper's minimum query size.
+                service.submit(
+                    Graph(labels=[0, 1], edges=[(0, 1)]), graph="g"
+                )
+        finally:
+            service.close()
+
+    def test_closed_service_rejects(self, data, clock, query):
+        service = MatchService(workers=1, clock=clock)
+        service.add_graph("g", data)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(query, graph="g")
+
+
+class TestQueueDeadlines:
+    def test_budget_spent_in_queue_expires_without_enumeration(
+        self, data, clock, query
+    ):
+        service, gate = gated_service(data, clock)
+        try:
+            blocker = service.submit(query, graph="g")  # occupies the worker
+            victim = service.submit(
+                query, graph="g", budget=1.0, match_limit=1
+            )
+            # The victim's budget burns down while it waits in the queue.
+            clock.advance(2.0)
+            gate.set()
+            blocker_response = blocker.result(timeout=60)
+            victim_response = victim.result(timeout=60)
+        finally:
+            service.close()
+
+        assert blocker_response.status == "ok"
+        assert victim_response.status == "expired"
+        assert victim_response.result is None
+        counters = service.metrics.counters
+        assert counters["serve.expired"] == 1
+        # The expired request never reached an engine: the blocker (and
+        # the victim's coalesced ride on it) is the only execution.
+        assert counters["serve.executed"] == 1
+
+    def test_all_waiters_expired_skips_execution_entirely(
+        self, data, clock, query
+    ):
+        # Disable coalescing so the victim queues its own execution.
+        service, gate = gated_service(data, clock, coalesce=False)
+        try:
+            blocker = service.submit(query, graph="g")
+            victim = service.submit(query, graph="g", budget=1.0)
+            clock.advance(5.0)
+            gate.set()
+            assert blocker.result(timeout=60).status == "ok"
+            assert victim.result(timeout=60).status == "expired"
+        finally:
+            service.close()
+        # Exactly one enumeration: the victim's slot ran nothing.
+        assert service.metrics.counters["serve.executed"] == 1
+        assert service.metrics.counters["serve.expired"] == 1
+
+    def test_live_budget_survives_queueing(self, data, clock, query):
+        service, gate = gated_service(data, clock)
+        try:
+            blocker = service.submit(query, graph="g")
+            patient = service.submit(query, graph="g", budget=10.0)
+            clock.advance(2.0)  # well within budget
+            gate.set()
+            assert blocker.result(timeout=60).status == "ok"
+            assert patient.result(timeout=60).status == "ok"
+        finally:
+            service.close()
+        assert service.metrics.counters.get("serve.expired", 0) == 0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self, data, clock, query):
+        # Depth 2: one running + one queued. Distinct queries defeat
+        # coalescing so each submit needs its own slot.
+        queries = [extract_query(data, 5, seed=s) for s in range(3)]
+        service, gate = gated_service(data, clock, max_queue_depth=2)
+        try:
+            first = service.submit(queries[0], graph="g")
+            second = service.submit(queries[1], graph="g")
+            with pytest.raises(QueueFullError):
+                service.submit(queries[2], graph="g")
+            counters = dict(service.metrics.counters)
+            gate.set()
+            assert first.result(timeout=60).status == "ok"
+            assert second.result(timeout=60).status == "ok"
+        finally:
+            service.close()
+        assert counters["serve.rejected_queue_full"] == 1
+        assert service.queue_depth_peak == 2
+
+    def test_coalesced_requests_bypass_the_queue_bound(
+        self, data, clock, query
+    ):
+        # Identical requests ride the in-flight execution's slot instead
+        # of consuming new ones: depth 1 still admits all of them.
+        service, gate = gated_service(data, clock, max_queue_depth=1)
+        try:
+            futures = [service.submit(query, graph="g") for _ in range(5)]
+            gate.set()
+            responses = [f.result(timeout=60) for f in futures]
+        finally:
+            service.close()
+        assert all(r.status == "ok" for r in responses)
+        assert service.metrics.counters["serve.executed"] == 1
+        assert service.metrics.counters["serve.coalesced"] == 4
+
+    def test_slots_free_after_completion(self, data, clock, query):
+        service, gate = gated_service(data, clock, max_queue_depth=1)
+        gate.set()  # no parking: executions drain normally
+        try:
+            for _ in range(3):
+                assert service.match(query, graph="g").status == "ok"
+        finally:
+            service.close()
+        assert service.metrics.counters["serve.executed"] == 3

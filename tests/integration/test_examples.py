@@ -63,3 +63,12 @@ def test_graph_database_search():
     out = run_example("graph_database_search.py")
     assert "containing graphs" in out
     assert "filtered w/o work" in out
+
+
+def test_serve_quickstart():
+    out = run_example("serve_quickstart.py")
+    assert "requests admitted     : 7" in out
+    # How many of the 6 concurrent squares coalesce depends on thread
+    # interleaving; the example itself asserts answer parity.
+    assert "enumerations executed" in out
+    assert "coalesced (saved runs)" in out

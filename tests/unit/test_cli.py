@@ -284,3 +284,45 @@ class TestFuzzCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "time-boxed" in out
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def stub_serve_forever(self, monkeypatch):
+        # The real loop blocks until killed; cut it off after startup so
+        # the command path (arg parsing, graph loading, bind, shutdown)
+        # runs end to end in-process.
+        from repro.serve.server import MatchServer
+
+        async def return_immediately(self):
+            if self._server is None:
+                await self.start()
+
+        monkeypatch.setattr(MatchServer, "serve_forever", return_immediately)
+
+    def test_serve_loads_named_graphs_and_binds(
+        self, graph_files, capsys, stub_serve_forever
+    ):
+        _, data_path = graph_files
+        code = main(["serve", "--port", "0", "--graph", f"social={data_path}"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resident graph 'social'" in out
+        assert "serving on 127.0.0.1:" in out
+
+    def test_serve_bare_path_is_default_graph(
+        self, graph_files, capsys, stub_serve_forever
+    ):
+        _, data_path = graph_files
+        code = main(["serve", "--port", "0", "--graph", data_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resident graph 'default'" in out
+
+    def test_serve_without_graphs_warns(self, capsys, stub_serve_forever):
+        code = main(["serve", "--port", "0", "--no-coalesce",
+                     "--default-budget-ms", "250"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "add_graph over the wire" in out
+        assert "coalesce=False" in out

@@ -235,3 +235,55 @@ class TestApiPassthrough:
         assert has_match(
             PAPER_QUERY, PAPER_DATA, algorithm="GQL", validate=False
         )
+
+
+class TestEngineOverrideRecording:
+    """Per-call engine overrides must be resolved AND recorded identically
+    whether the caller uses match(), count_matches() or has_match().
+
+    count_matches/has_match delegate to match(), so the override flows
+    through one code path; this pins that the MatchResult the internal
+    run produces carries the resolved engine name for every entry point
+    (the serving tier reports it to clients verbatim).
+    """
+
+    @pytest.fixture
+    def captured_engines(self, monkeypatch):
+        import repro.core.session as session_module
+
+        captured = []
+        inner = session_module.run_plan
+
+        def spy(*args, **kwargs):
+            result, prepared = inner(*args, **kwargs)
+            captured.append(result.engine)
+            return result, prepared
+
+        monkeypatch.setattr(session_module, "run_plan", spy)
+        return captured
+
+    @pytest.mark.parametrize("engine", ["recursive", "iterative"])
+    def test_session_count_and_has_match_record_override(
+        self, captured_engines, engine
+    ):
+        session = MatchSession(PAPER_DATA, algorithm="GQL")
+        n = session.count_matches(PAPER_QUERY, engine=engine)
+        found = session.has_match(PAPER_QUERY, engine=engine)
+        direct = session.match(PAPER_QUERY, engine=engine)
+        assert n == len(PAPER_MATCHES) and found
+        assert direct.engine == engine
+        assert captured_engines == [engine] * 3
+
+    @pytest.mark.parametrize("engine", ["recursive", "iterative"])
+    def test_api_count_and_has_match_record_override(
+        self, captured_engines, engine
+    ):
+        n = count_matches(PAPER_QUERY, PAPER_DATA, algorithm="GQL", engine=engine)
+        found = has_match(PAPER_QUERY, PAPER_DATA, algorithm="GQL", engine=engine)
+        assert n == len(PAPER_MATCHES) and found
+        assert captured_engines == [engine] * 2
+
+    def test_default_engine_still_recorded(self, captured_engines):
+        session = MatchSession(PAPER_DATA, algorithm="GQL")
+        session.count_matches(PAPER_QUERY)
+        assert captured_engines == ["iterative"]
