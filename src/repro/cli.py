@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         "iterative frame machine)",
     )
     p_match.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="intra-query worker processes for eligible plans "
+        "(default: $REPRO_WORKERS, else sequential; results identical)",
+    )
+    p_match.add_argument(
         "--show", type=int, default=3, help="embeddings to print"
     )
     p_match.add_argument(
@@ -195,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", "-a", default="recommended",
         help="service-wide default preset (requests may override)",
     )
+    p_serve.add_argument(
+        "--query-workers", type=int, default=None,
+        help="intra-query worker processes per eligible match "
+        "(default: $REPRO_WORKERS, else sequential)",
+    )
     return parser
 
 
@@ -214,6 +224,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             match_limit=args.match_limit, time_limit=args.time_limit,
             kernel=args.kernel, engine=args.engine,
+            n_workers=args.workers,
         )
 
     if tracer is not None:
@@ -423,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         coalesce=not args.no_coalesce,
         algorithm=args.algorithm,
+        n_workers=args.query_workers,
     )
     for spec in args.graph:
         name, sep, path = spec.partition("=")

@@ -42,6 +42,7 @@ def match(
     kernel: Optional[KernelLike] = None,
     engine: Optional[str] = None,
     cancel: Optional[Callable[[], bool]] = None,
+    n_workers: Optional[int] = None,
 ) -> MatchResult:
     """Find matches of ``query`` in ``data``.
 
@@ -86,6 +87,15 @@ def match(
         deadline stride; once it returns True the enumeration stops and
         the result reports ``solved=False`` (cooperative preemption —
         see :mod:`repro.serve`).
+    n_workers:
+        Intra-query parallelism (see :mod:`repro.parallel`): eligible
+        queries split their root-candidate set across this many worker
+        processes attached to a shared-memory copy of ``data``, with
+        results byte-identical to sequential execution. ``None`` defers
+        to the ``REPRO_WORKERS`` environment variable (absent →
+        sequential, i.e. 0). One-shot calls publish and tear down the
+        shared graph every time — hold a
+        :class:`~repro.core.session.MatchSession` to amortize that.
 
     Examples
     --------
@@ -103,15 +113,21 @@ def match(
         plan_cache_size=0,
         prep_cache_size=0,
         record_cache_metrics=False,
+        n_workers=n_workers,
     )
-    return session.match(
-        query,
-        match_limit=match_limit,
-        time_limit=time_limit,
-        store_limit=store_limit,
-        validate=validate,
-        cancel=cancel,
-    )
+    try:
+        return session.match(
+            query,
+            match_limit=match_limit,
+            time_limit=time_limit,
+            store_limit=store_limit,
+            validate=validate,
+            cancel=cancel,
+        )
+    finally:
+        # Throwaway session: release its shared-memory segment (if a
+        # parallel match published one) deterministically, not at gc.
+        session.close()
 
 
 def count_matches(
@@ -124,6 +140,7 @@ def count_matches(
     engine: Optional[str] = None,
     store_limit: int = 0,
     validate: bool = True,
+    n_workers: Optional[int] = None,
 ) -> int:
     """Number of matches (all of them by default); stores no embeddings.
 
@@ -141,6 +158,7 @@ def count_matches(
         validate=validate,
         kernel=kernel,
         engine=engine,
+        n_workers=n_workers,
     ).num_matches
 
 
@@ -153,6 +171,7 @@ def has_match(
     engine: Optional[str] = None,
     store_limit: int = 0,
     validate: bool = True,
+    n_workers: Optional[int] = None,
 ) -> bool:
     """Whether at least one match exists (stops at the first).
 
@@ -169,6 +188,7 @@ def has_match(
             validate=validate,
             kernel=kernel,
             engine=engine,
+            n_workers=n_workers,
         ).num_matches
         > 0
     )

@@ -317,6 +317,8 @@ def run_plan(
     store_limit: int = 10_000,
     metrics: Optional[Metrics] = None,
     cancel: Optional[Callable[[], bool]] = None,
+    root_window: Optional[Tuple[int, int]] = None,
+    parallel: Optional[Any] = None,
 ) -> Tuple[MatchResult, PreparedQuery]:
     """Execute a compiled plan on one query; returns (result, prepared).
 
@@ -331,6 +333,19 @@ def run_plan(
     ``solved=False``, exactly like a deadline expiry. The serving tier
     uses this to abort queries whose request deadline passed or whose
     server is shutting down.
+
+    ``root_window=(lo, hi)`` restricts enumeration to a slice of the root
+    frame's local candidates — the partition primitive
+    :mod:`repro.parallel` workers run chunks with (iterative engine only).
+
+    ``parallel`` is an optional
+    :class:`~repro.parallel.executor.ParallelContext`; when the plan is
+    eligible (static order, materialized candidates, iterative engine),
+    the enumeration phase is fanned out across its worker pool and the
+    merged outcome — byte-identical to the sequential run — takes the
+    place of ``engine.run``. Everything around enumeration (preparation,
+    spans, counters, result construction) is shared with the sequential
+    path.
     """
     spec = plan.algorithm
     if metrics is None:
@@ -350,34 +365,67 @@ def run_plan(
         # Resolve the engine per run (the env fallback may change between
         # calls), the same late-binding the kernel policy gets.
         engine_name = resolve_engine_name(plan.engine_policy)
-        engine = create_engine(
-            engine_name,
-            prepared.lc,
-            use_failing_sets=spec.failing_sets,
-            adaptive=prepared.adaptive_state,
+        use_parallel = (
+            parallel is not None
+            and root_window is None
+            and parallel.eligible(plan, prepared, engine_name)
         )
         run_kwargs = {}
         if cancel is not None:
             # Keyword-only and omitted when unused, so engines registered
             # before the cancellation protocol keep working untouched.
             run_kwargs["cancel"] = cancel
+        if root_window is not None:
+            # Partition primitive for repro.parallel workers; only the
+            # iterative engine understands root windows, and only workers
+            # (which pin the engine) pass this.
+            run_kwargs["root_window"] = root_window
         with span(
             "enumerate", kernel=prepared.kernel_used, engine=engine_name
         ) as enum_span:
-            outcome = engine.run(
-                query,
-                data,
-                prepared.candidates,
-                prepared.auxiliary,
-                prepared.order,
-                tree_parent=(
-                    prepared.tree.parent if prepared.tree is not None else None
-                ),
-                match_limit=match_limit,
-                time_limit=time_limit,
-                store_limit=store_limit,
-                **run_kwargs,
-            )
+            outcome = None
+            if use_parallel:
+                from repro.parallel.pool import ParallelUnavailable
+
+                try:
+                    outcome = parallel.execute(
+                        plan,
+                        query,
+                        data,
+                        prepared,
+                        match_limit=match_limit,
+                        time_limit=time_limit,
+                        store_limit=store_limit,
+                        cancel=cancel,
+                        metrics=metrics,
+                    )
+                except ParallelUnavailable:
+                    # Pool broken or saturated: the sequential engine is
+                    # always available, and results are identical.
+                    outcome = None
+            if outcome is None:
+                engine = create_engine(
+                    engine_name,
+                    prepared.lc,
+                    use_failing_sets=spec.failing_sets,
+                    adaptive=prepared.adaptive_state,
+                )
+                outcome = engine.run(
+                    query,
+                    data,
+                    prepared.candidates,
+                    prepared.auxiliary,
+                    prepared.order,
+                    tree_parent=(
+                        prepared.tree.parent
+                        if prepared.tree is not None
+                        else None
+                    ),
+                    match_limit=match_limit,
+                    time_limit=time_limit,
+                    store_limit=store_limit,
+                    **run_kwargs,
+                )
             enum_span.annotate(
                 num_matches=outcome.num_matches, solved=outcome.solved
             )

@@ -44,6 +44,7 @@ throwaway session per call.
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.plan import (
@@ -60,6 +61,9 @@ from repro.core.spec import AlgorithmSpec
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
 from repro.obs import Metrics
+from repro.parallel.executor import ParallelContext
+from repro.parallel.pool import resolve_workers
+from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle
 from repro.utils.kernels import KernelBackend
 
 __all__ = ["MatchSession"]
@@ -94,6 +98,13 @@ class MatchSession:
         counters to each result's metrics. The back-compat one-shot
         ``match()`` disables this so its results stay byte-identical to
         the pre-session pipeline.
+    n_workers:
+        Default intra-query parallelism (see :mod:`repro.parallel`):
+        eligible queries fan their enumeration out over this many worker
+        processes, attached zero-copy to the session's shared-memory
+        published graph. ``None`` defers to ``REPRO_WORKERS`` (absent →
+        sequential); per-call ``n_workers=`` wins. Results are
+        byte-identical to sequential execution either way.
     """
 
     def __init__(
@@ -105,11 +116,20 @@ class MatchSession:
         plan_cache_size: Optional[int] = 256,
         prep_cache_size: Optional[int] = 64,
         record_cache_metrics: bool = True,
+        n_workers: Optional[int] = None,
     ) -> None:
         self.data = data
         self.algorithm = algorithm
         self.kernel = kernel
         self.engine = engine
+        self.n_workers = n_workers
+        # The shared-memory published copy of `data`, created on the
+        # first parallel-eligible match and kept for the session's life
+        # (workers cache their attachment by segment name). The finalizer
+        # covers sessions that are never explicitly closed.
+        self._shared_graph = None
+        self._shared_lock = threading.Lock()
+        self._finalizer = None
         self.record_cache_metrics = record_cache_metrics
         self._plans = LRUCache(plan_cache_size)
         self._prep = LRUCache(prep_cache_size)
@@ -121,6 +141,43 @@ class MatchSession:
         # match() calls on a shared session would lose increments without
         # this guard (the session stress suite checks the totals).
         self._metrics_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Parallel execution support
+    # ------------------------------------------------------------------
+
+    def _shared_handle(self) -> SharedGraphHandle:
+        """The session's published graph (created once, on first need)."""
+        with self._shared_lock:
+            if self._shared_graph is None:
+                shared = SharedGraph(self.data)
+                self._shared_graph = shared
+                self._finalizer = weakref.finalize(self, shared.unlink)
+            return self._shared_graph.handle
+
+    def close(self) -> None:
+        """Release the session's shared-memory segment (idempotent).
+
+        Sessions that never ran a parallel match hold no segment and
+        close is a no-op; a garbage-collected session is finalized the
+        same way, so close() is a courtesy for deterministic cleanup (the
+        one-shot API and the serving tier call it explicitly).
+        """
+        with self._shared_lock:
+            if self._finalizer is not None:
+                self._finalizer()
+                self._finalizer = None
+            self._shared_graph = None
+
+    def _parallel_context(
+        self, n_workers: Optional[int]
+    ) -> Optional[ParallelContext]:
+        effective = resolve_workers(
+            self.n_workers if n_workers is None else n_workers
+        )
+        if effective <= 0:
+            return None
+        return ParallelContext(effective, self._shared_handle)
 
     # ------------------------------------------------------------------
     # Compilation
@@ -188,6 +245,7 @@ class MatchSession:
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        n_workers: Optional[int] = None,
     ) -> MatchResult:
         """Find matches of ``query`` in this session's data graph.
 
@@ -197,7 +255,9 @@ class MatchSession:
         and an exactly repeated query skips preprocessing outright.
         ``cancel`` is polled by the enumeration engine between leaf
         batches; once it returns True the run stops as unsolved (the
-        serving tier's preemption hook).
+        serving tier's preemption hook). ``n_workers`` overrides the
+        session's intra-query parallelism for this call (``0`` forces
+        sequential); results are identical either way.
         """
         if validate:
             validate_query(query)
@@ -239,6 +299,7 @@ class MatchSession:
             store_limit=store_limit,
             metrics=metrics,
             cancel=cancel,
+            parallel=self._parallel_context(n_workers),
         )
         if prep_enabled and not prep_hit:
             self._prep.put(prep_key, prepared)
@@ -263,6 +324,7 @@ class MatchSession:
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        n_workers: Optional[int] = None,
     ) -> List[MatchResult]:
         """Batch :meth:`match` over ``queries`` (results in input order).
 
@@ -281,6 +343,7 @@ class MatchSession:
                 kernel=kernel,
                 engine=engine,
                 cancel=cancel,
+                n_workers=n_workers,
             )
             for query in queries
         ]
@@ -296,6 +359,7 @@ class MatchSession:
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        n_workers: Optional[int] = None,
     ) -> int:
         """Number of matches (all of them by default); stores no embeddings.
 
@@ -314,6 +378,7 @@ class MatchSession:
             kernel=kernel,
             engine=engine,
             cancel=cancel,
+            n_workers=n_workers,
         ).num_matches
 
     def has_match(
@@ -325,6 +390,7 @@ class MatchSession:
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        n_workers: Optional[int] = None,
     ) -> bool:
         """Whether at least one match exists (stops at the first).
 
@@ -342,6 +408,7 @@ class MatchSession:
                 kernel=kernel,
                 engine=engine,
                 cancel=cancel,
+                n_workers=n_workers,
             ).num_matches
             > 0
         )

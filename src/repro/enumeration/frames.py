@@ -45,7 +45,7 @@ scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,10 +165,13 @@ class FrameMachine:
         time_limit: Optional[float] = None,
         store_limit: int = 10_000,
         cancel: Optional[Callable[[], bool]] = None,
+        root_window: Optional[Tuple[int, int]] = None,
     ) -> EnumerationOutcome:
         """Enumerate matches of ``query`` in ``data``; see the recursive
         engine for the parameter contract. ``cancel`` is polled at the
-        deadline stride; returning True aborts the search as unsolved."""
+        deadline stride; returning True aborts the search as unsolved.
+        ``root_window`` restricts the search to a slice of the root
+        vertex's local candidates (see :meth:`start`)."""
         self.start(
             query,
             data,
@@ -181,6 +184,7 @@ class FrameMachine:
             store_limit=store_limit,
             emit_rows=False,
             cancel=cancel,
+            root_window=root_window,
         )
         with Timer() as timer:
             while self.advance() is not None:
@@ -210,6 +214,7 @@ class FrameMachine:
         store_limit: int = 10_000,
         emit_rows: bool = False,
         cancel: Optional[Callable[[], bool]] = None,
+        root_window: Optional[Tuple[int, int]] = None,
     ) -> "FrameMachine":
         """Initialize the machine at the root of the search tree.
 
@@ -224,7 +229,19 @@ class FrameMachine:
         stands — between leaf batches — and reports ``solved=False``.
         This is the cooperative preemption hook the serving tier maps
         request deadlines and shutdown onto.
+
+        ``root_window=(lo, hi)`` restricts the search to the half-open
+        slice ``[lo, hi)`` of the root frame's local-candidate list. The
+        machine then explores exactly the subtrees rooted at those
+        candidates, in the same order the full search would visit them —
+        the partitioning primitive behind :mod:`repro.parallel`: windows
+        covering ``[0, len)`` without overlap reproduce the full run's
+        matches (and all depth-local counters) as the concatenation of the
+        per-window runs. Static orders only (adaptive selection has no
+        fixed root list).
         """
+        if root_window is not None and self.adaptive is not None:
+            raise ValueError("root_window requires a static matching order")
         n = query.num_vertices
         self._n = n
         self._mapping = np.full(n, -1, dtype=np.int64)
@@ -244,6 +261,7 @@ class FrameMachine:
         self._stats = EnumerationStats()
         self._deadline = Deadline(time_limit) if time_limit else None
         self._cancel = cancel
+        self._root_window = root_window
         self._tick = DEADLINE_STRIDE
         self._match_limit = match_limit
         self._num_matches = 0
@@ -346,6 +364,13 @@ class FrameMachine:
             for w in backward:
                 bmask |= 1 << w
         u_bit = 1 << u
+        if depth == 0 and self._root_window is not None:
+            # Partitioned run: only this window of root candidates belongs
+            # to us. Slicing before the length/conflict accounting keeps
+            # every counter window-local, so disjoint covering windows sum
+            # exactly to the sequential totals.
+            lo, hi = self._root_window
+            lc = lc[lo:hi]
         lclen = len(lc)
         if self.use_failing_sets and lclen == 0:
             # Emptyset class: bypass the frame entirely and return the

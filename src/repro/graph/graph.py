@@ -13,7 +13,7 @@ cache derived data freely.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,24 +119,74 @@ class Graph:
         self._neighbors = neighbors
         self._degrees = degrees
         self._num_edges = len(edge_list)
-        self._neighbor_sets: Tuple[frozenset, ...] = tuple(
-            frozenset(neighbors[offsets[v]:offsets[v + 1]].tolist())
-            for v in range(n)
-        )
+        # Per-vertex frozensets are a Python loop over |V|; built lazily
+        # so consumers that stay on the CSR arrays (the frame machine,
+        # shared-memory workers) never pay for them.
+        self._neighbor_sets: Optional[Tuple[frozenset, ...]] = None
+        self._label_index = self._build_label_index(labels_arr, None)
+        self._nlf_cache: List[Dict[int, int]] | None = None
+        self._elf_cache: Dict[Tuple[int, int], int] | None = None
 
-        # Label index, also loop-free: a stable argsort groups vertices by
-        # label while keeping ids ascending inside each group.
-        self._label_index: Dict[int, np.ndarray] = {}
+    @staticmethod
+    def _build_label_index(
+        labels_arr: np.ndarray, by_label: Optional[np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Label → sorted vertex array, loop-free.
+
+        A stable argsort groups vertices by label while keeping ids
+        ascending inside each group; callers that already hold the sorted
+        permutation (a shared-memory attach) pass it in and skip the sort.
+        """
+        index: Dict[int, np.ndarray] = {}
+        n = int(labels_arr.size)
         if n:
-            by_label = np.argsort(labels_arr, kind="stable")
+            if by_label is None:
+                by_label = np.argsort(labels_arr, kind="stable")
             uniq, starts = np.unique(labels_arr[by_label], return_index=True)
             bounds = np.append(starts, n)
             for i, label in enumerate(uniq.tolist()):
-                self._label_index[int(label)] = by_label[
-                    bounds[i]:bounds[i + 1]
-                ]
-        self._nlf_cache: List[Dict[int, int]] | None = None
-        self._elf_cache: Dict[Tuple[int, int], int] | None = None
+                index[int(label)] = by_label[bounds[i]:bounds[i + 1]]
+        return index
+
+    @classmethod
+    def from_csr(
+        cls,
+        labels: np.ndarray,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        num_edges: int,
+        by_label: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        """Adopt prebuilt CSR arrays without copying or re-sorting.
+
+        The arrays must already satisfy the class invariants (sorted
+        neighbor slices, mirrored undirected edges, int64 dtype); this is
+        the zero-copy attach path for shared-memory and memory-mapped
+        graphs, so the arrays may be read-only views into a buffer owned
+        by someone else. ``by_label``, when given, is the stable
+        label-sorted vertex permutation (what the label index is built
+        from) and skips recomputing the argsort.
+        """
+        graph = cls.__new__(cls)
+        graph._labels = labels
+        graph._offsets = offsets
+        graph._neighbors = neighbors
+        graph._degrees = np.diff(offsets)
+        graph._num_edges = int(num_edges)
+        graph._neighbor_sets = None
+        graph._label_index = cls._build_label_index(labels, by_label)
+        graph._nlf_cache = None
+        graph._elf_cache = None
+        return graph
+
+    def _ensure_neighbor_sets(self) -> Tuple[frozenset, ...]:
+        if self._neighbor_sets is None:
+            offsets, neighbors = self._offsets, self._neighbors
+            self._neighbor_sets = tuple(
+                frozenset(neighbors[offsets[v]:offsets[v + 1]].tolist())
+                for v in range(self.num_vertices)
+            )
+        return self._neighbor_sets
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -186,11 +236,11 @@ class Graph:
 
     def neighbor_set(self, v: int) -> frozenset:
         """Neighbors of ``v`` as a frozenset for O(1) membership checks."""
-        return self._neighbor_sets[v]
+        return self._ensure_neighbor_sets()[v]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``e(u, v)`` exists."""
-        return v in self._neighbor_sets[u]
+        return v in self._ensure_neighbor_sets()[u]
 
     def vertices(self) -> range:
         """Iterate vertex ids ``0 .. n-1``."""

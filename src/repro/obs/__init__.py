@@ -34,12 +34,15 @@ from repro.obs.metrics import (
 from repro.obs.schema import (
     BENCH_ENGINE_SCHEMA_VERSION,
     BENCH_KERNELS_SCHEMA_VERSION,
+    BENCH_PARALLEL_SCHEMA_VERSION,
     BENCH_SERVER_SCHEMA_VERSION,
     BENCH_SESSION_SCHEMA_VERSION,
+    MIN_PARALLEL_SPEEDUP,
     TRACE_SCHEMA,
     TraceSchemaError,
     validate_bench_engine,
     validate_bench_kernels,
+    validate_bench_parallel,
     validate_bench_server,
     validate_bench_session,
     validate_trace_file,
@@ -76,11 +79,14 @@ __all__ = [
     "TRACE_SCHEMA",
     "BENCH_ENGINE_SCHEMA_VERSION",
     "BENCH_KERNELS_SCHEMA_VERSION",
+    "BENCH_PARALLEL_SCHEMA_VERSION",
     "BENCH_SERVER_SCHEMA_VERSION",
     "BENCH_SESSION_SCHEMA_VERSION",
+    "MIN_PARALLEL_SPEEDUP",
     "TraceSchemaError",
     "validate_bench_engine",
     "validate_bench_kernels",
+    "validate_bench_parallel",
     "validate_bench_server",
     "validate_bench_session",
     "validate_trace_file",

@@ -36,6 +36,15 @@ dependency):
   p50/p99 latency through :class:`~repro.serve.service.MatchService`
   with request coalescing on vs off, plus the ``serve.*`` counters and a
   results-agree attestation.
+
+* **BENCH_parallel.json** (``benchmarks/bench_parallel.py``): the
+  intra-query parallel enumeration payload — root-chunked fan-out via
+  :mod:`repro.parallel` vs the sequential frame machine on a Fig-16
+  style counting workload, with per-chunk enumeration seconds, the
+  4-worker speedup (measured wall clock on hosts with >= 4 CPUs, a
+  greedy-makespan model over the real chunk timings otherwise —
+  ``speedup_source`` says which), a byte-identical-embeddings
+  attestation, and a shared-memory leak count.
 """
 
 from __future__ import annotations
@@ -57,6 +66,9 @@ __all__ = [
     "validate_bench_engine",
     "BENCH_SERVER_SCHEMA_VERSION",
     "validate_bench_server",
+    "BENCH_PARALLEL_SCHEMA_VERSION",
+    "MIN_PARALLEL_SPEEDUP",
+    "validate_bench_parallel",
 ]
 
 #: Identifier stamped into every trace header line.
@@ -73,6 +85,12 @@ BENCH_ENGINE_SCHEMA_VERSION = 1
 
 #: Version stamped into BENCH_server.json payloads.
 BENCH_SERVER_SCHEMA_VERSION = 1
+
+#: Version stamped into BENCH_parallel.json payloads.
+BENCH_PARALLEL_SCHEMA_VERSION = 1
+
+#: The 4-worker speedup floor BENCH_parallel.json must clear.
+MIN_PARALLEL_SPEEDUP = 2.5
 
 #: Span end may precede a parent's end by this much (float timer jitter).
 _NEST_SLACK = 1e-9
@@ -477,4 +495,121 @@ def validate_bench_server(payload: Dict[str, Any]) -> None:
     _require(
         payload.get("results_agree") is True,
         "results_agree must be true (modes returned different match counts)",
+    )
+
+
+def validate_bench_parallel(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_parallel.json payload against the current schema.
+
+    The payload compares sequential frame-machine enumeration against the
+    root-chunked process-pool fan-out of :mod:`repro.parallel` on one
+    counting workload. Beyond shape, the validator enforces the
+    benchmark's claims: every query's parallel run must return the byte
+    identical embedding sequence (``embeddings_identical``), the 4-worker
+    speedup must clear :data:`MIN_PARALLEL_SPEEDUP`, the speedup
+    provenance must be declared (``"measured"`` wall clock on hosts with
+    at least 4 CPUs, ``"modeled"`` greedy makespan over real per-chunk
+    timings otherwise), and the run must not have leaked shared-memory
+    segments.
+    """
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_PARALLEL_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_PARALLEL_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "parallel-enumeration",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+    _require(
+        isinstance(payload.get("host_cpus"), int) and payload["host_cpus"] > 0,
+        "host_cpus must be a positive int",
+    )
+    source = payload.get("speedup_source")
+    _require(
+        source in ("measured", "modeled"),
+        f"speedup_source must be 'measured' or 'modeled': {source!r}",
+    )
+    if source == "measured":
+        _require(
+            payload["host_cpus"] >= 4,
+            "measured speedups require at least 4 host CPUs",
+        )
+    workload = payload.get("workload")
+    _require(isinstance(workload, dict), "workload must be an object")
+    for key in (
+        "data_vertices",
+        "query_vertices",
+        "num_queries",
+        "match_limit",
+        "chunks",
+    ):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"workload.{key} must be a positive int",
+        )
+    queries = payload.get("queries")
+    _require(
+        isinstance(queries, list)
+        and len(queries) == workload["num_queries"],
+        "queries must be a list of workload.num_queries entries",
+    )
+    for i, entry in enumerate(queries):
+        where = f"queries[{i}]"
+        _require(isinstance(entry, dict), f"{where} must be an object")
+        _require(
+            isinstance(entry.get("num_matches"), int)
+            and entry["num_matches"] > 0,
+            f"{where}.num_matches must be a positive int",
+        )
+        _require(
+            isinstance(entry.get("sequential_seconds"), (int, float))
+            and entry["sequential_seconds"] > 0,
+            f"{where}.sequential_seconds must be positive",
+        )
+        chunk_seconds = entry.get("chunk_seconds")
+        _require(
+            isinstance(chunk_seconds, list)
+            and chunk_seconds
+            and len(chunk_seconds) <= workload["chunks"]
+            and all(
+                isinstance(s, (int, float)) and s >= 0 for s in chunk_seconds
+            ),
+            f"{where}.chunk_seconds must be a non-empty list of at most "
+            "workload.chunks non-negative numbers",
+        )
+        speedups = entry.get("speedups")
+        _require(
+            isinstance(speedups, dict) and "4" in speedups,
+            f"{where}.speedups must map worker counts and include '4'",
+        )
+        for workers, value in speedups.items():
+            _require(
+                isinstance(value, (int, float)) and value > 0,
+                f"{where}.speedups[{workers!r}] must be positive",
+            )
+        _require(
+            entry.get("embeddings_identical") is True,
+            f"{where}.embeddings_identical must be true (parallel run "
+            "returned different embeddings)",
+        )
+    speedup = payload.get("overall_speedup_4_workers")
+    _require(
+        isinstance(speedup, (int, float)) and speedup > 0,
+        "overall_speedup_4_workers must be a positive number",
+    )
+    _require(
+        speedup >= MIN_PARALLEL_SPEEDUP,
+        f"overall_speedup_4_workers ({speedup}) is below the "
+        f"{MIN_PARALLEL_SPEEDUP}x floor",
+    )
+    _require(
+        payload.get("embeddings_identical") is True,
+        "embeddings_identical must be true (a parallel run returned "
+        "different embeddings)",
+    )
+    _require(
+        payload.get("shm_segments_leaked") == 0,
+        f"shm_segments_leaked must be 0: {payload.get('shm_segments_leaked')!r}",
     )

@@ -1,0 +1,159 @@
+"""Persistent worker pools and the shared cancellation flags.
+
+One :class:`WorkerPool` per worker count lives for the life of the
+process (:func:`get_pool`), so the fork/spawn cost and the workers' warm
+caches (attached graphs, prepared queries) amortize across every query
+the process runs — the same reuse posture as ``MatchSession``'s plan
+cache. Each pool also owns one small shared-memory segment of int64
+**cancel flags**: a parallel match leases a slot, workers poll it at the
+engine's deadline stride, and the parent flips it to preempt every
+in-flight chunk at once. This is how the serving tier's ``cancel``
+closure reaches across the process boundary without pipes or signals.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "MAX_CANCEL_SLOTS",
+    "ParallelUnavailable",
+    "WorkerPool",
+    "get_pool",
+    "resolve_workers",
+    "shutdown_pools",
+]
+
+#: Cancel-flag slots per pool — the cap on concurrent parallel matches
+#: sharing one pool. Exhaustion degrades to sequential execution, never
+#: to an error (see ParallelContext).
+MAX_CANCEL_SLOTS = 64
+
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+class ParallelUnavailable(RuntimeError):
+    """The pool cannot take this match (broken workers / no free slot).
+
+    Raised by the parallel layer to tell ``run_plan`` to fall through to
+    the in-process sequential engine; never surfaces to callers.
+    """
+
+
+def resolve_workers(n_workers: Optional[int] = None) -> int:
+    """Resolve a worker-count request to an effective count.
+
+    Explicit argument wins; ``None`` falls back to the ``REPRO_WORKERS``
+    environment variable; absent both, 0 (sequential in-process
+    execution). ``n_workers`` counts pool processes — 1 is a real
+    one-worker pool (useful for measuring dispatch overhead), 0 disables
+    the parallel path.
+    """
+    if n_workers is None:
+        raw = os.environ.get(_WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        n_workers = int(raw)
+    n = int(n_workers)
+    if n < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n}")
+    return n
+
+
+class WorkerPool:
+    """A persistent process pool plus its cancel-flag segment."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.n_workers = n_workers
+        self.broken = False
+        self._lock = threading.Lock()
+        self._flags_shm = shared_memory.SharedMemory(
+            create=True, size=MAX_CANCEL_SLOTS * 8
+        )
+        flags = np.frombuffer(self._flags_shm.buf, dtype=np.int64)
+        flags[:] = 0
+        self._flags = flags
+        self._free_slots = set(range(MAX_CANCEL_SLOTS))
+        from repro.parallel.worker import _worker_init
+
+        self._executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_worker_init,
+            initargs=(self._flags_shm.name,),
+        )
+        self._shut_down = False
+
+    # -- cancel slots ---------------------------------------------------
+
+    def acquire_slot(self) -> Optional[int]:
+        """Lease a cancel slot (cleared); None when all are in use."""
+        with self._lock:
+            if not self._free_slots:
+                return None
+            slot = self._free_slots.pop()
+        self._flags[slot] = 0
+        return slot
+
+    def release_slot(self, slot: int) -> None:
+        self._flags[slot] = 0
+        with self._lock:
+            self._free_slots.add(slot)
+
+    def set_flag(self, slot: int) -> None:
+        """Preempt every worker polling this slot (one store, no IPC)."""
+        self._flags[slot] = 1
+
+    # -- dispatch -------------------------------------------------------
+
+    def submit(self, fn, *args) -> Future:
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        self._flags = None
+        self._flags_shm.close()
+        self._flags_shm.unlink()
+
+
+_POOLS: Dict[int, WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(n_workers: int) -> WorkerPool:
+    """The process-wide pool for this worker count (created on demand).
+
+    A pool marked broken (a worker died mid-task) is replaced on the next
+    request, so one crash doesn't poison the process.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(n_workers)
+        if pool is None or pool.broken:
+            if pool is not None:
+                pool.shutdown()
+            pool = WorkerPool(n_workers)
+            _POOLS[n_workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every pool and its shared segments (atexit + tests)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)

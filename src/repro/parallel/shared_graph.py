@@ -1,0 +1,158 @@
+"""Zero-copy graph publishing over POSIX shared memory.
+
+A :class:`SharedGraph` packs a data graph's four int64 arrays — labels,
+CSR offsets, CSR neighbors, and the label-sorted vertex permutation the
+label index is derived from — into **one** ``multiprocessing.shared_memory``
+segment. Worker processes receive only the tiny picklable
+:class:`SharedGraphHandle` (segment name + layout) and :func:`attach` maps
+the segment read-only-by-convention via ``np.frombuffer`` +
+:meth:`~repro.graph.graph.Graph.from_csr` — no copy, no unpickling, and
+the attach cost is independent of graph size.
+
+Lifecycle: the publishing process owns the segment and must call
+:meth:`SharedGraph.unlink` exactly once when no process needs it anymore
+(sessions do this through ``weakref.finalize``; the one-shot API does it
+in a ``finally``). Attachers just drop their references — the numpy views
+keep the mapping alive until they die, and closing an attached segment
+while views exist would raise ``BufferError`` anyway, so no explicit
+close is attempted on the worker side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["SharedGraph", "SharedGraphHandle", "attach"]
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable descriptor of a published graph: name plus array layout.
+
+    ``directed_edges`` is the length of the neighbors array (``2|E|`` for
+    an undirected CSR with mirrored edges).
+    """
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    directed_edges: int
+
+    @property
+    def total_items(self) -> int:
+        n = self.num_vertices
+        # labels(n) | offsets(n+1) | neighbors(2E) | by_label(n)
+        return n + (n + 1) + self.directed_edges + n
+
+
+def _layout(handle: SharedGraphHandle, base: np.ndarray) -> Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]:
+    n, m = handle.num_vertices, handle.directed_edges
+    labels = base[0:n]
+    offsets = base[n : 2 * n + 1]
+    neighbors = base[2 * n + 1 : 2 * n + 1 + m]
+    by_label = base[2 * n + 1 + m : 3 * n + 1 + m]
+    return labels, offsets, neighbors, by_label
+
+
+class SharedGraph:
+    """Publish one :class:`~repro.graph.graph.Graph` for worker attach.
+
+    >>> g = Graph(labels=[0, 1, 1], edges=[(0, 1), (1, 2)])
+    >>> shared = SharedGraph(g)
+    >>> _, attached = attach(shared.handle)
+    >>> attached == g
+    True
+    >>> shared.unlink()
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        offsets, neighbors = graph.csr
+        m = int(neighbors.size)
+        handle_size = (3 * n + 1 + m) * _ITEMSIZE
+        # Zero-vertex graphs still need a nonzero-size segment.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(handle_size, _ITEMSIZE)
+        )
+        self.handle = SharedGraphHandle(
+            name=self._shm.name,
+            num_vertices=n,
+            num_edges=graph.num_edges,
+            directed_edges=m,
+        )
+        base = np.frombuffer(
+            self._shm.buf, dtype=np.int64, count=self.handle.total_items
+        )
+        dst_labels, dst_offsets, dst_neighbors, dst_by_label = _layout(
+            self.handle, base
+        )
+        dst_labels[:] = graph.labels
+        dst_offsets[:] = offsets
+        dst_neighbors[:] = neighbors
+        # The stable label argsort is what Graph's label index is built
+        # from; shipping it lets every attacher skip the O(n log n) sort.
+        dst_by_label[:] = np.argsort(graph.labels, kind="stable")
+        # Release our own view so unlink() can close the mapping cleanly.
+        del base, dst_labels, dst_offsets, dst_neighbors, dst_by_label
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.total_items * _ITEMSIZE
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent, owner side only)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGraph({self.handle.name}, |V|={self.handle.num_vertices}, "
+            f"{self.nbytes} bytes)"
+        )
+
+
+def attach(
+    handle: SharedGraphHandle,
+) -> Tuple[shared_memory.SharedMemory, Graph]:
+    """Map a published graph; returns ``(segment, graph)``.
+
+    The caller must keep the segment object alive alongside the graph —
+    the graph's arrays are views into the segment's buffer. Dropping both
+    together is the whole cleanup; the owner's :meth:`SharedGraph.unlink`
+    removes the name.
+    """
+    shm = shared_memory.SharedMemory(name=handle.name)
+    base = np.frombuffer(shm.buf, dtype=np.int64, count=handle.total_items)
+    labels, offsets, neighbors, by_label = _layout(handle, base)
+    graph = Graph.from_csr(
+        labels,
+        offsets,
+        neighbors,
+        num_edges=handle.num_edges,
+        by_label=by_label,
+    )
+    return shm, graph

@@ -32,7 +32,6 @@ from repro.core.session import MatchSession
 from repro.core.verify import verify_embedding
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
-from repro.enumeration.engines import available_engines
 from repro.qa.generator import PlantedCase, apply_transform
 from repro.utils.kernels import available_kernels
 
@@ -75,13 +74,16 @@ class Config:
     (:class:`MatchSession`, run twice to cover cache miss and hit),
     ``"vf2"`` or ``"bruteforce"`` (the oracles; ``algorithm``/``kernel``/
     ``engine`` are ignored there). ``engine`` ``None`` defers to the
-    registry default, so historical corpus records replay unchanged.
+    registry default, so historical corpus records replay unchanged —
+    and so does ``n_workers`` ``None`` (sequential), the intra-query
+    parallelism axis (:mod:`repro.parallel`).
     """
 
     algorithm: str = "GQL"
     kernel: Optional[str] = None
     mode: str = "oneshot"
     engine: Optional[str] = None
+    n_workers: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Optional[str]]:
         return {
@@ -89,15 +91,18 @@ class Config:
             "kernel": self.kernel,
             "mode": self.mode,
             "engine": self.engine,
+            "n_workers": self.n_workers,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Optional[str]]) -> "Config":
+        n_workers = payload.get("n_workers")
         return cls(
             algorithm=payload.get("algorithm") or "GQL",
             kernel=payload.get("kernel"),
             mode=payload.get("mode") or "oneshot",
             engine=payload.get("engine"),
+            n_workers=int(n_workers) if n_workers is not None else None,
         )
 
     def label(self) -> str:
@@ -105,8 +110,9 @@ class Config:
             return self.mode
         kernel = f"/{self.kernel}" if self.kernel else ""
         engine = f"@{self.engine}" if self.engine else ""
+        workers = f"|w{self.n_workers}" if self.n_workers else ""
         session = "+session" if self.mode == "session" else ""
-        return f"{self.algorithm}{kernel}{engine}{session}"
+        return f"{self.algorithm}{kernel}{engine}{workers}{session}"
 
 
 @dataclass
@@ -155,13 +161,17 @@ def run_config(
             algorithm=config.algorithm,
             kernel=config.kernel,
             engine=config.engine,
+            n_workers=config.n_workers,
         )
-        first = session.match(
-            query, match_limit=match_limit, store_limit=match_limit
-        )
-        second = session.match(
-            query, match_limit=match_limit, store_limit=match_limit
-        )
+        try:
+            first = session.match(
+                query, match_limit=match_limit, store_limit=match_limit
+            )
+            second = session.match(
+                query, match_limit=match_limit, store_limit=match_limit
+            )
+        finally:
+            session.close()
         return Outcome(
             count=first.num_matches,
             emb_set=normalize_embeddings(first.embeddings),
@@ -176,6 +186,7 @@ def run_config(
         algorithm=config.algorithm,
         kernel=config.kernel,
         engine=config.engine,
+        n_workers=config.n_workers,
         match_limit=match_limit,
         store_limit=match_limit,
     )
@@ -275,8 +286,14 @@ def default_kernels() -> List[str]:
 
 
 def default_engines() -> List[str]:
-    """All registered enumeration engines."""
-    return available_engines()
+    """Engines swept by default: the iterative engine only.
+
+    The recursive engine is the retired reference implementation — it
+    survives in the registry as an explicit opt-in baseline (pass
+    ``engines=available_engines()`` to sweep it), but the default fuzz
+    run no longer spends its budget re-validating it.
+    """
+    return ["iterative"]
 
 
 def run_case(
@@ -287,6 +304,7 @@ def run_case(
     session_algorithm: str = "GQL-opt",
     engines: Optional[Sequence[str]] = None,
     engine_algorithms: Sequence[str] = ("GQLfs", "DPfs"),
+    worker_counts: Sequence[int] = (2,),
     oracle: bool = True,
     bruteforce_budget: int = 200_000,
     metamorphic: bool = True,
@@ -431,6 +449,39 @@ def run_case(
                         "session_mismatch", first_config, config,
                         first, outcome, case,
                         "engines returned differently ordered embeddings",
+                    )
+                )
+
+        # Parallel enumeration against the same sequential run, held to
+        # the engines' byte-identical contract: chunked fan-out must
+        # reassemble the exact sequential embedding order. Small cases
+        # fall below the parallel eligibility floor and silently run
+        # sequentially — that degenerate comparison passing is fine; the
+        # axis earns its keep on the cases with enough root candidates.
+        for n_workers in worker_counts:
+            config = Config(
+                algorithm=algo, engine=engines[0], n_workers=n_workers
+            )
+            outcome = run_checked(config)
+            if outcome is None or first is None:
+                continue
+            why = _outcomes_differ(first, outcome)
+            if why is not None:
+                divergences.append(
+                    _pair_divergence(
+                        "count_mismatch" if why == "count" else "set_mismatch",
+                        first_config, config, first, outcome, case,
+                        f"{why} differs between sequential and parallel runs",
+                    )
+                )
+            elif not (first.capped or outcome.capped) and (
+                first.emb_list != outcome.emb_list
+            ):
+                divergences.append(
+                    _pair_divergence(
+                        "session_mismatch", first_config, config,
+                        first, outcome, case,
+                        "parallel run reordered embeddings",
                     )
                 )
 

@@ -168,6 +168,14 @@ class MatchService:
         :class:`~repro.serve.clock.FakeClock`).
     plan_cache_size / prep_cache_size:
         Forwarded to each tenant session.
+    n_workers:
+        Intra-query parallelism forwarded to each tenant session (see
+        :mod:`repro.parallel`): eligible big queries fan their
+        enumeration out across this many worker *processes*, which is
+        the real CPU scaling the GIL denies the thread pool. Request
+        deadlines and shutdown cancellation propagate to the workers
+        through a shared flag polled at the engines' leaf-batch stride.
+        ``None`` defers to ``REPRO_WORKERS`` (absent → sequential).
     """
 
     def __init__(
@@ -182,6 +190,7 @@ class MatchService:
         clock: Optional[Clock] = None,
         plan_cache_size: Optional[int] = 256,
         prep_cache_size: Optional[int] = 64,
+        n_workers: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -196,6 +205,7 @@ class MatchService:
         self.clock = clock if clock is not None else SystemClock()
         self._plan_cache_size = plan_cache_size
         self._prep_cache_size = prep_cache_size
+        self.n_workers = n_workers
 
         self._graphs: Dict[str, Graph] = {}
         self._sessions: Dict[Tuple[str, str], MatchSession] = {}
@@ -255,6 +265,7 @@ class MatchService:
                 engine=self.engine,
                 plan_cache_size=self._plan_cache_size,
                 prep_cache_size=self._prep_cache_size,
+                n_workers=self.n_workers,
             )
             self._sessions[(tenant, graph_name)] = session
             return session
@@ -562,6 +573,12 @@ class MatchService:
         if cancel_inflight:
             self._cancel_event.set()
         self._executor.shutdown(wait=wait)
+        # Release each session's shared-memory published graph (no-op for
+        # sessions that never ran a parallel match).
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
 
     def __enter__(self) -> "MatchService":
         return self

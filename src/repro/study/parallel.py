@@ -3,27 +3,37 @@
 The study's algorithms are single-threaded by design (the paper's
 sequential comparison), but a *workload* of independent queries
 parallelizes trivially. This module fans a query set out over a process
-pool — the data graph is shipped to each worker once via the pool
-initializer, not per task — and reassembles the same
-:class:`~repro.study.runner.RunSummary` the sequential runner produces.
+pool and reassembles the same :class:`~repro.study.runner.RunSummary`
+the sequential runner produces.
+
+The data graph is **not** shipped to workers: it is published once as a
+:class:`~repro.parallel.shared_graph.SharedGraph` (one shared-memory
+segment holding the CSR arrays) and every worker attaches zero-copy via
+the tiny handle the pool initializer receives — attach cost is
+independent of graph size, and all workers read the same physical pages.
 
 Timings measured in parallel are noisier than sequential ones (workers
 share memory bandwidth), so the benchmark harness stays sequential; this
 runner is for users who want answers, not measurements — e.g. scanning a
 large workload for hard queries.
 
-Only preset *names* (plus ``"GLW"``) are accepted: specs may carry
-unpicklable components, and names re-resolve cheaply in each worker.
+Algorithms may be preset names, ``"GLW"``, or explicit
+:class:`~repro.core.spec.AlgorithmSpec` instances — specs (and the plans
+compiled from them) pickle since the kernels learned to drop their
+identity-keyed caches at the process boundary.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.session import MatchSession
+from repro.core.spec import AlgorithmSpec
 from repro.glasgow.solver import glasgow_match
 from repro.graph.graph import Graph
+from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle, attach
 from repro.study.runner import (
     QueryRecord,
     RunSummary,
@@ -33,30 +43,35 @@ from repro.study.runner import (
 
 __all__ = ["run_algorithm_on_set_parallel"]
 
+AlgorithmLike = Union[str, AlgorithmSpec]
+
 # Worker-process globals, set once by the pool initializer. Each worker
-# holds one MatchSession for the shipped data graph (measurement mode:
-# no preprocessing reuse, no cache counters — records must match the
-# sequential runner's byte for byte); GLW runs have no session.
+# attaches the published data graph (keeping the segment alive alongside
+# it) and holds one MatchSession in measurement mode: no preprocessing
+# reuse, no cache counters — records must match the sequential runner's
+# byte for byte. GLW runs have no session.
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
 _WORKER_DATA: Optional[Graph] = None
-_WORKER_ALGORITHM: Optional[str] = None
+_WORKER_ALGORITHM: Optional[AlgorithmLike] = None
 _WORKER_SESSION: Optional[MatchSession] = None
 _WORKER_LIMITS: Tuple[Optional[int], Optional[float]] = (None, None)
 
 
 def _init_worker(
-    data: Graph,
-    algorithm: str,
+    handle: SharedGraphHandle,
+    algorithm: AlgorithmLike,
     match_limit: Optional[int],
     time_limit: Optional[float],
 ) -> None:
-    global _WORKER_DATA, _WORKER_ALGORITHM, _WORKER_SESSION, _WORKER_LIMITS
-    _WORKER_DATA = data
+    global _WORKER_SHM, _WORKER_DATA, _WORKER_ALGORITHM
+    global _WORKER_SESSION, _WORKER_LIMITS
+    _WORKER_SHM, _WORKER_DATA = attach(handle)
     _WORKER_ALGORITHM = algorithm
     _WORKER_SESSION = (
         None
         if algorithm == "GLW"
         else MatchSession(
-            data,
+            _WORKER_DATA,
             algorithm=algorithm,
             prep_cache_size=0,
             record_cache_metrics=False,
@@ -99,7 +114,7 @@ def _run_one(task: Tuple[int, Graph]) -> QueryRecord:
 
 
 def run_algorithm_on_set_parallel(
-    algorithm: str,
+    algorithm: AlgorithmLike,
     data: Graph,
     queries: Sequence[Graph],
     dataset_key: str = "?",
@@ -114,9 +129,9 @@ def run_algorithm_on_set_parallel(
     wall-clock time is roughly divided by ``workers`` for CPU-bound
     workloads.
     """
-    if not isinstance(algorithm, str):
+    if not isinstance(algorithm, (str, AlgorithmSpec)):
         raise TypeError(
-            "parallel runner accepts preset names only (specs may not pickle)"
+            "algorithm must be a preset name, 'GLW', or an AlgorithmSpec"
         )
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -126,18 +141,24 @@ def run_algorithm_on_set_parallel(
         time_limit = default_time_limit()
 
     summary = RunSummary(
-        algorithm=algorithm,
+        algorithm=(
+            algorithm if isinstance(algorithm, str) else algorithm.name
+        ),
         dataset_key=dataset_key,
         query_set_label=query_set_label,
         time_limit=time_limit,
     )
     tasks = list(enumerate(queries))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(data, algorithm, match_limit, time_limit),
-    ) as pool:
-        for record in pool.map(_run_one, tasks):
-            summary.records.append(record)
+    shared = SharedGraph(data)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(shared.handle, algorithm, match_limit, time_limit),
+        ) as pool:
+            for record in pool.map(_run_one, tasks):
+                summary.records.append(record)
+    finally:
+        shared.unlink()
     summary.records.sort(key=lambda r: r.query_index)
     return summary

@@ -258,6 +258,17 @@ class BitsetKernel(KernelBackend):
         """Drop all cached encodings."""
         self._cache.clear()
 
+    def __getstate__(self) -> dict:
+        # The cache is keyed by object identity; ids do not survive a
+        # process boundary (and a recycled id in the receiving process
+        # would silently alias a different array). Ship the kernel empty.
+        # A falsy state would make pickle skip __setstate__ and leave the
+        # slot unset, hence the marker.
+        return {"cache": "dropped"}
+
+    def __setstate__(self, state: dict) -> None:
+        self._cache = {}
+
 
 class QFilterKernel(KernelBackend):
     """The base-and-state (BSR) QFilter model behind the backend interface."""
@@ -275,6 +286,15 @@ class QFilterKernel(KernelBackend):
 
     def clear(self) -> None:
         self._index.clear()
+
+    def __getstate__(self) -> dict:
+        # QFilterIndex memoizes encodings by object identity — same
+        # cross-process hazard as BitsetKernel. Only the configuration
+        # crosses the boundary; the receiver re-encodes lazily.
+        return {"block_bits": self._index.block_bits}
+
+    def __setstate__(self, state: dict) -> None:
+        self._index = QFilterIndex(block_bits=state["block_bits"])
 
 
 # ----------------------------------------------------------------------

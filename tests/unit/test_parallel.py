@@ -49,13 +49,30 @@ class TestParallelRunner:
         )
         assert summary.num_queries == len(qs.queries)
 
-    def test_rejects_specs(self, workload):
+    def test_accepts_specs(self, workload):
+        # Specs pickle now (kernels drop identity-keyed caches at the
+        # process boundary), so the runner takes them directly and the
+        # records match the sequential runner's.
         data, qs = workload
         from repro.core import get_algorithm
 
-        with pytest.raises(TypeError, match="names only"):
+        spec = get_algorithm("GQL-opt")
+        sequential = run_algorithm_on_set(
+            spec, data, qs.queries, time_limit=10.0
+        )
+        parallel = run_algorithm_on_set_parallel(
+            spec, data, qs.queries, time_limit=10.0, workers=2
+        )
+        assert parallel.algorithm == sequential.algorithm == spec.name
+        assert [r.num_matches for r in parallel.records] == [
+            r.num_matches for r in sequential.records
+        ]
+
+    def test_rejects_non_algorithms(self, workload):
+        data, qs = workload
+        with pytest.raises(TypeError, match="AlgorithmSpec"):
             run_algorithm_on_set_parallel(
-                get_algorithm("RI"), data, qs.queries  # type: ignore[arg-type]
+                123, data, qs.queries  # type: ignore[arg-type]
             )
 
     def test_rejects_zero_workers(self, workload):

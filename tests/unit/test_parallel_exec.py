@@ -1,0 +1,133 @@
+"""Unit tests for the fan-out building blocks (repro.parallel.executor)."""
+
+import pytest
+
+from repro.enumeration.stats import EnumerationStats
+from repro.parallel import (
+    DEFAULT_CHUNKS,
+    chunk_bounds,
+    merge_chunks,
+    resolve_workers,
+)
+from repro.parallel.worker import ChunkResult
+
+
+def make_chunk(index, embeddings, solved=True, calls=None):
+    stats = EnumerationStats()
+    # Every chunk pays the one root push the sequential run pays once.
+    stats.recursion_calls = (
+        calls if calls is not None else len(embeddings) + 1
+    )
+    return ChunkResult(
+        index=index,
+        num_matches=len(embeddings),
+        solved=solved,
+        embeddings=list(embeddings),
+        stats=stats,
+    )
+
+
+class TestChunkBounds:
+    def test_covers_range_in_order(self):
+        bounds = chunk_bounds(100, DEFAULT_CHUNKS)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_never_more_chunks_than_roots(self):
+        assert len(chunk_bounds(3, 16)) == 3
+        assert all(hi - lo == 1 for lo, hi in chunk_bounds(3, 16))
+
+    def test_all_windows_non_empty(self):
+        for roots in (1, 2, 15, 16, 17, 1000):
+            for lo, hi in chunk_bounds(roots, 16):
+                assert hi > lo
+
+    def test_independent_of_worker_count(self):
+        # The chunk grid depends on roots alone — the determinism
+        # contract that makes results invariant across n_workers.
+        assert chunk_bounds(97, 16) == chunk_bounds(97, 16)
+
+
+class TestMergeChunks:
+    def test_concatenates_in_index_order(self):
+        chunks = [
+            make_chunk(1, [(3,), (4,)]),
+            make_chunk(0, [(1,), (2,)]),
+        ]
+        outcome = merge_chunks(chunks, match_limit=None, store_limit=10)
+        assert outcome.embeddings == [(1,), (2,), (3,), (4,)]
+        assert outcome.num_matches == 4
+        assert outcome.solved
+
+    def test_root_push_correction(self):
+        chunks = [make_chunk(i, [(i,)]) for i in range(4)]
+        outcome = merge_chunks(chunks, match_limit=None, store_limit=10)
+        # Each chunk reported len+1 = 2 calls; sequential pays the root
+        # push once, so the merged total is 4*2 - 3.
+        assert outcome.stats.recursion_calls == 5
+
+    def test_match_limit_truncates_inside_boundary_chunk(self):
+        chunks = [
+            make_chunk(0, [(1,), (2,)]),
+            make_chunk(1, [(3,), (4,)]),
+            make_chunk(2, [(5,)]),
+        ]
+        outcome = merge_chunks(chunks, match_limit=3, store_limit=10)
+        assert outcome.num_matches == 3
+        assert outcome.embeddings == [(1,), (2,), (3,)]
+        assert outcome.solved
+
+    def test_limit_satisfied_beats_unsolved(self):
+        # A chunk that reached the limit *and* later died on budget
+        # reports solved=True: the sequential run would have stopped at
+        # the limit before ever hitting the budget.
+        chunks = [
+            make_chunk(0, [(1,), (2,)], solved=False),
+            make_chunk(1, [(3,)]),
+        ]
+        outcome = merge_chunks(chunks, match_limit=2, store_limit=10)
+        assert outcome.solved
+        assert outcome.num_matches == 2
+
+    def test_unsolved_chunk_ends_merge(self):
+        chunks = [
+            make_chunk(0, [(1,)]),
+            make_chunk(1, [(2,)], solved=False),
+            make_chunk(2, [(3,)]),
+        ]
+        outcome = merge_chunks(chunks, match_limit=None, store_limit=10)
+        assert not outcome.solved
+        assert outcome.embeddings == [(1,), (2,)]
+
+    def test_store_limit_keeps_prefix(self):
+        chunks = [
+            make_chunk(0, [(1,), (2,)]),
+            make_chunk(1, [(3,), (4,)]),
+        ]
+        outcome = merge_chunks(chunks, match_limit=None, store_limit=3)
+        assert outcome.embeddings == [(1,), (2,), (3,)]
+        assert outcome.num_matches == 4
+
+
+class TestResolveWorkers:
+    def test_none_defaults_to_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 0
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+        assert resolve_workers(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError):
+            resolve_workers(None)

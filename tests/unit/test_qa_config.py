@@ -1,0 +1,64 @@
+"""Unit tests for the differential harness Config, n_workers axis included."""
+
+from repro.qa.differential import (
+    Config,
+    default_engines,
+    run_config,
+)
+from repro.qa.generator import plant_case
+
+
+class TestConfigRoundTrip:
+    def test_defaults_round_trip(self):
+        config = Config()
+        assert Config.from_dict(config.to_dict()) == config
+
+    def test_n_workers_round_trips(self):
+        config = Config(algorithm="GQLfs", engine="iterative", n_workers=2)
+        clone = Config.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.n_workers == 2
+
+    def test_legacy_payload_defaults_to_sequential(self):
+        # Corpus records written before the n_workers axis replay
+        # unchanged: missing key means sequential.
+        config = Config.from_dict(
+            {"algorithm": "GQL", "kernel": None, "mode": "oneshot"}
+        )
+        assert config.n_workers is None
+
+    def test_label_shows_worker_count(self):
+        assert "w2" in Config(algorithm="GQL", n_workers=2).label()
+        assert "w" not in Config(algorithm="GQL").label()
+
+
+class TestDefaultEngines:
+    def test_recursive_engine_is_opt_in(self):
+        # The retired reference engine stays in the registry but out of
+        # the default sweep.
+        assert default_engines() == ["iterative"]
+
+
+class TestParallelConfigRuns:
+    def test_parallel_config_matches_sequential(self):
+        case = plant_case(5, max_data=24)
+        seq = run_config(case.query, case.data, Config(algorithm="GQL"))
+        par = run_config(
+            case.query, case.data, Config(algorithm="GQL", n_workers=2)
+        )
+        assert par.count == seq.count
+        assert par.emb_list == seq.emb_list
+
+    def test_session_mode_accepts_workers(self):
+        case = plant_case(9, max_data=24)
+        seq = run_config(
+            case.query, case.data, Config(algorithm="GQL", mode="session")
+        )
+        par = run_config(
+            case.query,
+            case.data,
+            Config(algorithm="GQL", mode="session", n_workers=2),
+        )
+        assert par.count == seq.count
+        assert par.emb_list == seq.emb_list
+        assert par.repeat_list == seq.repeat_list
