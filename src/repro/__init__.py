@@ -32,12 +32,29 @@ from repro.core import (
     explain_embedding_failure,
 )
 from repro.enumeration import iter_matches
-from repro.graph import Graph, load_graph, query_fingerprint, save_graph
+from repro.graph import (
+    Graph,
+    GraphStore,
+    InMemoryStore,
+    MmapStore,
+    SharedMemoryStore,
+    as_graph,
+    load_graph,
+    query_fingerprint,
+    save_graph,
+    write_rgf,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "GraphStore",
+    "InMemoryStore",
+    "MmapStore",
+    "SharedMemoryStore",
+    "as_graph",
+    "write_rgf",
     "load_graph",
     "save_graph",
     "query_fingerprint",

@@ -2,8 +2,9 @@
 
 Commands:
 
-* ``match``          — run one algorithm on a query/data pair of ``.graph`` files
+* ``match``          — run one algorithm on a query/data pair of graph files
 * ``compare``        — run several presets on one pair and print a leaderboard
+* ``convert``        — convert between the ``.graph`` text and ``.rgf`` binary formats
 * ``generate``       — write a synthetic data graph (RMAT or Erdős–Rényi)
 * ``extract-query``  — extract a random-walk query from a data graph
 * ``datasets``       — list (or materialize) the paper's dataset stand-ins
@@ -100,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument(
         "--engine", "-e", choices=available_engines(), default=None,
         help="enumeration engine used by every preset",
+    )
+
+    p_convert = sub.add_parser(
+        "convert",
+        help="convert a graph between the .graph text and .rgf binary "
+        "formats (an .rgf data graph then opens memmap-backed in O(header))",
+    )
+    p_convert.add_argument(
+        "--input", "-i", required=True,
+        help="source graph (.graph text or .rgf binary, sniffed by magic)",
+    )
+    p_convert.add_argument(
+        "--output", "-o", required=True,
+        help="destination; an .rgf suffix writes the binary format, "
+        "anything else the text format",
+    )
+    p_convert.add_argument(
+        "--validate", action="store_true",
+        help="re-open the written file and verify segment checksums and "
+        "CSR invariants",
     )
 
     p_generate = sub.add_parser("generate", help="write a synthetic data graph")
@@ -301,6 +322,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    graph = load_graph(args.input)
+    save_graph(graph, args.output)
+    if args.validate:
+        from pathlib import Path
+
+        from repro.graph.store import MmapStore
+
+        if Path(args.output).suffix == ".rgf":
+            store = MmapStore(args.output, validate=True)
+            print(f"validated {store!r}: checksums and CSR invariants ok")
+            store.close()
+        else:
+            reread = load_graph(args.output)
+            if reread != graph:
+                print("error: text round-trip mismatch", file=sys.stderr)
+                return 1
+            print(f"validated {args.output}: text round-trip identical")
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.model == "rmat":
         graph = rmat_graph(
@@ -474,6 +517,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "match": lambda: _cmd_match(args),
         "compare": lambda: _cmd_compare(args),
+        "convert": lambda: _cmd_convert(args),
         "generate": lambda: _cmd_generate(args),
         "extract-query": lambda: _cmd_extract_query(args),
         "datasets": lambda: _cmd_datasets(args),

@@ -45,7 +45,8 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Callable, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.plan import (
     AlgorithmLike,
@@ -60,6 +61,7 @@ from repro.core.result import MatchResult
 from repro.core.spec import AlgorithmSpec
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
+from repro.graph.store import GraphSource, SharedMemoryStore, as_graph
 from repro.obs import Metrics
 from repro.parallel.executor import ParallelContext
 from repro.parallel.pool import resolve_workers
@@ -75,8 +77,12 @@ class MatchSession:
     Parameters
     ----------
     data:
-        The data graph this session serves. Immutable (as all graphs
-        are), so every cache below remains valid for the session's life.
+        The data graph this session serves — a :class:`Graph`, any
+        :class:`~repro.graph.store.GraphStore` (in-memory, memmap,
+        shared-memory), or a path to a ``.graph``/``.rgf`` file
+        (resolved through :func:`~repro.graph.store.as_graph`).
+        Immutable (as all graphs are), so every cache below remains
+        valid for the session's life.
     algorithm:
         Default algorithm for :meth:`match` calls that don't name one.
     kernel:
@@ -109,7 +115,7 @@ class MatchSession:
 
     def __init__(
         self,
-        data: Graph,
+        data: GraphSource,
         algorithm: AlgorithmLike = "recommended",
         kernel: Optional[KernelLike] = None,
         engine: Optional[str] = None,
@@ -118,7 +124,7 @@ class MatchSession:
         record_cache_metrics: bool = True,
         n_workers: Optional[int] = None,
     ) -> None:
-        self.data = data
+        self.data = as_graph(data)
         self.algorithm = algorithm
         self.kernel = kernel
         self.engine = engine
@@ -126,10 +132,18 @@ class MatchSession:
         # The shared-memory published copy of `data`, created on the
         # first parallel-eligible match and kept for the session's life
         # (workers cache their attachment by segment name). The finalizer
-        # covers sessions that are never explicitly closed.
+        # covers sessions that are never explicitly closed. A data graph
+        # already backed by a SharedMemoryStore is never republished —
+        # workers attach to the existing segment by name.
         self._shared_graph = None
         self._shared_lock = threading.Lock()
         self._finalizer = None
+        # close() must not unlink the segment under an in-flight parallel
+        # dispatch (workers would hit FileNotFoundError mid-attach);
+        # dispatches register through _parallel_guard and a close that
+        # races one defers the release to the last guard exit.
+        self._inflight_parallel = 0
+        self._close_deferred = False
         self.record_cache_metrics = record_cache_metrics
         self._plans = LRUCache(plan_cache_size)
         self._prep = LRUCache(prep_cache_size)
@@ -147,7 +161,16 @@ class MatchSession:
     # ------------------------------------------------------------------
 
     def _shared_handle(self) -> SharedGraphHandle:
-        """The session's published graph (created once, on first need)."""
+        """The session's published graph (created once, on first need).
+
+        A data graph whose arrays already live in a
+        :class:`~repro.graph.store.SharedMemoryStore` segment is not
+        republished: workers attach to that segment by name, and its
+        owner (not this session) remains responsible for unlinking it.
+        """
+        store = self.data._store
+        if isinstance(store, SharedMemoryStore):
+            return store.handle
         with self._shared_lock:
             if self._shared_graph is None:
                 shared = SharedGraph(self.data)
@@ -155,19 +178,44 @@ class MatchSession:
                 self._finalizer = weakref.finalize(self, shared.unlink)
             return self._shared_graph.handle
 
-    def close(self) -> None:
-        """Release the session's shared-memory segment (idempotent).
+    def _release_shared_locked(self) -> None:
+        # Caller holds _shared_lock.
+        self._close_deferred = False
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._shared_graph = None
 
-        Sessions that never ran a parallel match hold no segment and
-        close is a no-op; a garbage-collected session is finalized the
-        same way, so close() is a courtesy for deterministic cleanup (the
-        one-shot API and the serving tier call it explicitly).
+    def close(self) -> None:
+        """Release the session's shared-memory segment.
+
+        Idempotent and safe to call concurrently with in-flight parallel
+        dispatch: a close that races an active fan-out defers the
+        segment unlink until the last dispatch drains, so workers never
+        lose the segment mid-attach. Sessions that never ran a parallel
+        match hold no segment and close is a no-op; a garbage-collected
+        session is finalized the same way, so close() is a courtesy for
+        deterministic cleanup (the one-shot API and the serving tier
+        call it explicitly).
         """
         with self._shared_lock:
-            if self._finalizer is not None:
-                self._finalizer()
-                self._finalizer = None
-            self._shared_graph = None
+            if self._inflight_parallel > 0:
+                self._close_deferred = True
+                return
+            self._release_shared_locked()
+
+    @contextmanager
+    def _parallel_guard(self) -> Iterator[None]:
+        """Held around each parallel dispatch; makes close() defer."""
+        with self._shared_lock:
+            self._inflight_parallel += 1
+        try:
+            yield
+        finally:
+            with self._shared_lock:
+                self._inflight_parallel -= 1
+                if self._inflight_parallel == 0 and self._close_deferred:
+                    self._release_shared_locked()
 
     def _parallel_context(
         self, n_workers: Optional[int]
@@ -177,7 +225,9 @@ class MatchSession:
         )
         if effective <= 0:
             return None
-        return ParallelContext(effective, self._shared_handle)
+        return ParallelContext(
+            effective, self._shared_handle, guard=self._parallel_guard
+        )
 
     # ------------------------------------------------------------------
     # Compilation

@@ -12,12 +12,23 @@ This package provides everything the matching algorithms consume:
   dense/sparse query sets of the paper's Table 4,
 * :mod:`~repro.graph.ops` — 2-core, BFS trees and related structure helpers,
 * :mod:`~repro.graph.fingerprint` — order-invariant query fingerprints for
-  the plan cache of :class:`~repro.core.session.MatchSession`.
+  the plan cache of :class:`~repro.core.session.MatchSession`,
+* :mod:`~repro.graph.store` — the pluggable storage layer: one canonical
+  CSR layout behind in-memory, ``.rgf``/memmap, and shared-memory
+  backends.
 """
 
 from repro.graph.fingerprint import query_fingerprint, vertex_signatures
 from repro.graph.graph import Graph
 from repro.graph.io import load_graph, loads_graph, save_graph, dumps_graph
+from repro.graph.store import (
+    GraphStore,
+    InMemoryStore,
+    MmapStore,
+    SharedMemoryStore,
+    as_graph,
+    write_rgf,
+)
 from repro.graph.generators import (
     erdos_renyi_graph,
     rmat_graph,
@@ -35,6 +46,12 @@ from repro.graph.ops import bfs_tree, connected, core_vertices, two_core
 
 __all__ = [
     "Graph",
+    "GraphStore",
+    "InMemoryStore",
+    "MmapStore",
+    "SharedMemoryStore",
+    "as_graph",
+    "write_rgf",
     "query_fingerprint",
     "vertex_signatures",
     "load_graph",

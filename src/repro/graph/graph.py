@@ -82,6 +82,8 @@ class Graph:
         "_nlf_cache",
         "_elf_cache",
         "_num_edges",
+        "_store",
+        "__weakref__",
     )
 
     def __init__(
@@ -126,6 +128,7 @@ class Graph:
         self._label_index = self._build_label_index(labels_arr, None)
         self._nlf_cache: List[Dict[int, int]] | None = None
         self._elf_cache: Dict[Tuple[int, int], int] | None = None
+        self._store = None
 
     @staticmethod
     def _build_label_index(
@@ -156,6 +159,7 @@ class Graph:
         neighbors: np.ndarray,
         num_edges: int,
         by_label: Optional[np.ndarray] = None,
+        store: Optional[object] = None,
     ) -> "Graph":
         """Adopt prebuilt CSR arrays without copying or re-sorting.
 
@@ -165,7 +169,10 @@ class Graph:
         graphs, so the arrays may be read-only views into a buffer owned
         by someone else. ``by_label``, when given, is the stable
         label-sorted vertex permutation (what the label index is built
-        from) and skips recomputing the argsort.
+        from) and skips recomputing the argsort. ``store``, when given,
+        is the :class:`~repro.graph.store.GraphStore` that owns the
+        arrays; the graph keeps a reference so the backing buffer (a
+        memmap or shared-memory segment) outlives any cached views.
         """
         graph = cls.__new__(cls)
         graph._labels = labels
@@ -177,7 +184,37 @@ class Graph:
         graph._label_index = cls._build_label_index(labels, by_label)
         graph._nlf_cache = None
         graph._elf_cache = None
+        graph._store = store
         return graph
+
+    @classmethod
+    def from_store(cls, store: object) -> "Graph":
+        """The graph view over a :class:`~repro.graph.store.GraphStore`.
+
+        Zero-copy: the returned graph's arrays are the store's arrays,
+        and the label index derives from the store's precomputed
+        ``by_label`` permutation without re-sorting.
+        """
+        return cls.from_csr(
+            store.labels,
+            store.offsets,
+            store.neighbors,
+            num_edges=store.num_edges,
+            by_label=store.by_label,
+            store=store,
+        )
+
+    @property
+    def store(self) -> "object":
+        """The :class:`~repro.graph.store.GraphStore` owning this graph's
+        arrays, wrapping them in an in-memory store on first access for
+        graphs built directly from labels/edges.
+        """
+        if self._store is None:
+            from repro.graph.store import InMemoryStore
+
+            self._store = InMemoryStore.from_graph(self)
+        return self._store
 
     def _ensure_neighbor_sets(self) -> Tuple[frozenset, ...]:
         if self._neighbor_sets is None:
@@ -365,6 +402,30 @@ class Graph:
     # ------------------------------------------------------------------
     # Dunder methods
     # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Residency is process-local: a memmap or shared-memory store
+        # must not ride a pickle (workers re-attach through handles), and
+        # the backing arrays may be read-only buffer views — materialize
+        # them so the unpickled graph stands alone.
+        return {
+            "_labels": np.array(self._labels, dtype=np.int64),
+            "_offsets": np.array(self._offsets, dtype=np.int64),
+            "_neighbors": np.array(self._neighbors, dtype=np.int64),
+            "_num_edges": self._num_edges,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._labels = state["_labels"]
+        self._offsets = state["_offsets"]
+        self._neighbors = state["_neighbors"]
+        self._num_edges = state["_num_edges"]
+        self._degrees = np.diff(self._offsets)
+        self._neighbor_sets = None
+        self._label_index = self._build_label_index(self._labels, None)
+        self._nlf_cache = None
+        self._elf_cache = None
+        self._store = None
 
     def __repr__(self) -> str:
         return (

@@ -1,4 +1,4 @@
-"""Readers and writers for the ``.graph`` text format.
+"""Readers and writers for the ``.graph`` text and ``.rgf`` binary formats.
 
 The paper's reference repository (RapidsAtHKUST/SubgraphMatching) stores
 graphs as plain text::
@@ -13,26 +13,49 @@ Vertex ids must be ``0 .. n-1``. The per-vertex degree on the ``v`` line is
 redundant; on load we verify it when present and recompute it on save.
 Blank lines and ``#`` comments are ignored so hand-written fixtures stay
 readable.
+
+:func:`load_graph` and :func:`save_graph` also speak the ``.rgf`` binary
+format (see :mod:`repro.graph.store`): a ``.rgf`` suffix — or the
+``RGF1`` magic, whatever the suffix — opens memmap-backed in O(header)
+instead of parsing text. Every malformed input, text or binary, raises
+:class:`~repro.errors.GraphFormatError` carrying the file and line/offset
+where parsing stopped; raw ``ValueError``/``IndexError`` never escape.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidGraphError
 from repro.graph.graph import Graph
 
 __all__ = ["load_graph", "loads_graph", "save_graph", "dumps_graph"]
 
 
-def loads_graph(text: str) -> Graph:
+def loads_graph(text: str, source: Optional[str] = None) -> Graph:
     """Parse a graph from ``.graph``-format text.
+
+    ``source`` (usually a file name) prefixes every error message so a
+    failure inside a batch load points at the offending file.
 
     >>> g = loads_graph('t 3 2\\nv 0 5 1\\nv 1 5 2\\nv 2 7 1\\ne 0 1\\ne 1 2\\n')
     >>> (g.num_vertices, g.num_edges, g.label(2))
     (3, 2, 7)
     """
+    prefix = f"{source}: " if source else ""
+
+    def fail(msg: str) -> GraphFormatError:
+        return GraphFormatError(prefix + msg)
+
+    def to_int(token: str, lineno: int, what: str) -> int:
+        try:
+            return int(token)
+        except ValueError:
+            raise fail(
+                f"line {lineno}: {what} must be an integer, got {token!r}"
+            ) from None
+
     header: Tuple[int, int] | None = None
     labels: List[int] = []
     declared_degrees: List[int | None] = []
@@ -46,53 +69,98 @@ def loads_graph(text: str) -> Graph:
         kind = parts[0]
         if kind == "t":
             if header is not None:
-                raise GraphFormatError(f"line {lineno}: duplicate 't' header")
+                raise fail(f"line {lineno}: duplicate 't' header")
             if len(parts) != 3:
-                raise GraphFormatError(f"line {lineno}: 't' needs |V| and |E|")
-            header = (int(parts[1]), int(parts[2]))
+                raise fail(f"line {lineno}: 't' needs |V| and |E|")
+            header = (
+                to_int(parts[1], lineno, "vertex count"),
+                to_int(parts[2], lineno, "edge count"),
+            )
         elif kind == "v":
             if len(parts) not in (3, 4):
-                raise GraphFormatError(
+                raise fail(
                     f"line {lineno}: 'v' needs id and label (degree optional)"
                 )
-            vid = int(parts[1])
+            vid = to_int(parts[1], lineno, "vertex id")
             if vid != len(labels):
-                raise GraphFormatError(
+                raise fail(
                     f"line {lineno}: vertex ids must be consecutive from 0, "
                     f"expected {len(labels)} got {vid}"
                 )
-            labels.append(int(parts[2]))
-            declared_degrees.append(int(parts[3]) if len(parts) == 4 else None)
+            labels.append(to_int(parts[2], lineno, "vertex label"))
+            declared_degrees.append(
+                to_int(parts[3], lineno, "vertex degree")
+                if len(parts) == 4
+                else None
+            )
         elif kind == "e":
             if len(parts) < 3:
-                raise GraphFormatError(f"line {lineno}: 'e' needs two endpoints")
-            edges.append((int(parts[1]), int(parts[2])))
+                raise fail(f"line {lineno}: 'e' needs two endpoints")
+            edges.append(
+                (
+                    to_int(parts[1], lineno, "edge endpoint"),
+                    to_int(parts[2], lineno, "edge endpoint"),
+                )
+            )
         else:
-            raise GraphFormatError(f"line {lineno}: unknown record type {kind!r}")
+            raise fail(f"line {lineno}: unknown record type {kind!r}")
 
     if header is None:
-        raise GraphFormatError("missing 't <|V|> <|E|>' header")
+        raise fail("missing 't <|V|> <|E|>' header")
     if header[0] != len(labels):
-        raise GraphFormatError(
+        raise fail(
             f"header declares {header[0]} vertices but {len(labels)} 'v' lines found"
         )
     if header[1] != len(edges):
-        raise GraphFormatError(
+        raise fail(
             f"header declares {header[1]} edges but {len(edges)} 'e' lines found"
         )
 
-    graph = Graph(labels=labels, edges=edges)
+    try:
+        graph = Graph(labels=labels, edges=edges)
+    except InvalidGraphError as exc:
+        raise fail(str(exc)) from exc
     for v, declared in enumerate(declared_degrees):
         if declared is not None and declared != graph.degree(v):
-            raise GraphFormatError(
+            raise fail(
                 f"vertex {v}: declared degree {declared} != actual {graph.degree(v)}"
             )
     return graph
 
 
+def _looks_like_rgf(path: Path) -> bool:
+    from repro.graph.store import RGF_MAGIC
+
+    if path.suffix == ".rgf":
+        return True
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(RGF_MAGIC)) == RGF_MAGIC
+    except OSError:
+        return False
+
+
 def load_graph(path: Union[str, Path]) -> Graph:
-    """Load a graph from a ``.graph`` file."""
-    return loads_graph(Path(path).read_text())
+    """Load a graph from a ``.graph`` text file or an ``.rgf`` binary file.
+
+    ``.rgf`` files (by suffix or magic) open as a memmap-backed
+    :class:`~repro.graph.store.MmapStore` view — O(header) regardless of
+    graph size; the OS pages array data in as matching reads it.
+    """
+    path = Path(path)
+    if _looks_like_rgf(path):
+        from repro.graph.store import MmapStore
+
+        return MmapStore(path).graph()
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: cannot read: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(
+            f"{path}: not text (byte offset {exc.start}) and not an rgf file"
+        ) from exc
+    return loads_graph(text, source=str(path))
 
 
 def dumps_graph(graph: Graph) -> str:
@@ -106,5 +174,12 @@ def dumps_graph(graph: Graph) -> str:
 
 
 def save_graph(graph: Graph, path: Union[str, Path]) -> None:
-    """Write ``graph`` to ``path`` in ``.graph`` format."""
-    Path(path).write_text(dumps_graph(graph))
+    """Write ``graph`` to ``path`` — ``.rgf`` suffix selects the binary
+    format, anything else the ``.graph`` text format."""
+    path = Path(path)
+    if path.suffix == ".rgf":
+        from repro.graph.store import write_rgf
+
+        write_rgf(graph, path)
+        return
+    path.write_text(dumps_graph(graph))

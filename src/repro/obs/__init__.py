@@ -37,6 +37,9 @@ from repro.obs.schema import (
     BENCH_PARALLEL_SCHEMA_VERSION,
     BENCH_SERVER_SCHEMA_VERSION,
     BENCH_SESSION_SCHEMA_VERSION,
+    BENCH_STORAGE_SCHEMA_VERSION,
+    MAX_MMAP_WARM_OVERHEAD,
+    MAX_OUT_OF_CORE_RSS_RATIO,
     MIN_PARALLEL_SPEEDUP,
     TRACE_SCHEMA,
     TraceSchemaError,
@@ -45,6 +48,7 @@ from repro.obs.schema import (
     validate_bench_parallel,
     validate_bench_server,
     validate_bench_session,
+    validate_bench_storage,
     validate_trace_file,
     validate_trace_lines,
     validate_trace_record,
@@ -82,6 +86,9 @@ __all__ = [
     "BENCH_PARALLEL_SCHEMA_VERSION",
     "BENCH_SERVER_SCHEMA_VERSION",
     "BENCH_SESSION_SCHEMA_VERSION",
+    "BENCH_STORAGE_SCHEMA_VERSION",
+    "MAX_MMAP_WARM_OVERHEAD",
+    "MAX_OUT_OF_CORE_RSS_RATIO",
     "MIN_PARALLEL_SPEEDUP",
     "TraceSchemaError",
     "validate_bench_engine",
@@ -89,6 +96,7 @@ __all__ = [
     "validate_bench_parallel",
     "validate_bench_server",
     "validate_bench_session",
+    "validate_bench_storage",
     "validate_trace_file",
     "validate_trace_lines",
     "validate_trace_record",

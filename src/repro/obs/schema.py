@@ -45,6 +45,16 @@ dependency):
   greedy-makespan model over the real chunk timings otherwise —
   ``speedup_source`` says which), a byte-identical-embeddings
   attestation, and a shared-memory leak count.
+
+* **BENCH_storage.json** (``benchmarks/bench_storage.py``): the graph
+  storage-backend payload — warm-run overhead of matching off an
+  ``.rgf`` memmap vs the in-memory arrays on a resident workload, and
+  peak RSS of an out-of-core workload whose CSR arrays exceed the
+  declared memory budget, matched from
+  :class:`~repro.graph.store.MmapStore` vs fully materialized. Both
+  halves carry a results-identical attestation; the validator enforces
+  the overhead and RSS ceilings plus tempfile/shared-memory leak
+  counts.
 """
 
 from __future__ import annotations
@@ -69,6 +79,10 @@ __all__ = [
     "BENCH_PARALLEL_SCHEMA_VERSION",
     "MIN_PARALLEL_SPEEDUP",
     "validate_bench_parallel",
+    "BENCH_STORAGE_SCHEMA_VERSION",
+    "MAX_MMAP_WARM_OVERHEAD",
+    "MAX_OUT_OF_CORE_RSS_RATIO",
+    "validate_bench_storage",
 ]
 
 #: Identifier stamped into every trace header line.
@@ -91,6 +105,16 @@ BENCH_PARALLEL_SCHEMA_VERSION = 1
 
 #: The 4-worker speedup floor BENCH_parallel.json must clear.
 MIN_PARALLEL_SPEEDUP = 2.5
+
+#: Version stamped into BENCH_storage.json payloads.
+BENCH_STORAGE_SCHEMA_VERSION = 1
+
+#: Warm memmap matching may cost at most this multiple of in-memory.
+MAX_MMAP_WARM_OVERHEAD = 1.3
+
+#: Out-of-core peak RSS must be at most this fraction of the
+#: materialized run's peak RSS.
+MAX_OUT_OF_CORE_RSS_RATIO = 0.5
 
 #: Span end may precede a parent's end by this much (float timer jitter).
 _NEST_SLACK = 1e-9
@@ -612,4 +636,129 @@ def validate_bench_parallel(payload: Dict[str, Any]) -> None:
     _require(
         payload.get("shm_segments_leaked") == 0,
         f"shm_segments_leaked must be 0: {payload.get('shm_segments_leaked')!r}",
+    )
+
+
+def validate_bench_storage(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_storage.json payload against the current schema.
+
+    The payload compares matching off the three storage backends of
+    :mod:`repro.graph.store`. Beyond shape, the validator enforces the
+    benchmark's claims honestly:
+
+    * both halves must attest identical results across backends,
+    * the warm memmap run may cost at most
+      :data:`MAX_MMAP_WARM_OVERHEAD` times the in-memory run,
+    * the out-of-core workload's CSR arrays must genuinely exceed the
+      declared memory budget, and its memmap peak RSS must be at most
+      :data:`MAX_OUT_OF_CORE_RSS_RATIO` of the materialized run's,
+    * the run must not have leaked tempfiles or ``/dev/shm`` segments.
+    """
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_STORAGE_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_STORAGE_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "storage-backends",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+
+    warm = payload.get("warm")
+    _require(isinstance(warm, dict), "warm must be an object")
+    workload = warm.get("workload")
+    _require(isinstance(workload, dict), "warm.workload must be an object")
+    for key in ("data_vertices", "num_queries", "match_limit", "repeats"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"warm.workload.{key} must be a positive int",
+        )
+    for key in ("in_memory_seconds", "mmap_seconds", "shm_seconds"):
+        _require(
+            isinstance(warm.get(key), (int, float)) and warm[key] > 0,
+            f"warm.{key} must be a positive number",
+        )
+    overhead = warm.get("mmap_overhead")
+    _require(
+        isinstance(overhead, (int, float)) and overhead > 0,
+        "warm.mmap_overhead must be a positive number",
+    )
+    _require(
+        abs(overhead - warm["mmap_seconds"] / warm["in_memory_seconds"])
+        < 1e-6,
+        "warm.mmap_overhead must equal mmap_seconds / in_memory_seconds",
+    )
+    _require(
+        overhead <= MAX_MMAP_WARM_OVERHEAD,
+        f"warm.mmap_overhead ({overhead}) exceeds the "
+        f"{MAX_MMAP_WARM_OVERHEAD}x ceiling",
+    )
+    _require(
+        warm.get("results_identical") is True,
+        "warm.results_identical must be true (backends returned "
+        "different embeddings)",
+    )
+
+    ooc = payload.get("out_of_core")
+    _require(isinstance(ooc, dict), "out_of_core must be an object")
+    workload = ooc.get("workload")
+    _require(
+        isinstance(workload, dict), "out_of_core.workload must be an object"
+    )
+    for key in (
+        "data_vertices",
+        "data_edges",
+        "array_bytes",
+        "memory_budget_bytes",
+        "num_queries",
+        "match_limit",
+    ):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"out_of_core.workload.{key} must be a positive int",
+        )
+    _require(
+        workload["array_bytes"] > workload["memory_budget_bytes"],
+        "out_of_core workload does not exceed the memory budget "
+        f"({workload['array_bytes']} <= {workload['memory_budget_bytes']} "
+        "bytes) — the run was not out-of-core",
+    )
+    for key in ("in_memory_peak_rss_bytes", "mmap_peak_rss_bytes"):
+        _require(
+            isinstance(ooc.get(key), int) and ooc[key] > 0,
+            f"out_of_core.{key} must be a positive int",
+        )
+    ratio = ooc.get("rss_ratio")
+    _require(
+        isinstance(ratio, (int, float)) and ratio > 0,
+        "out_of_core.rss_ratio must be a positive number",
+    )
+    _require(
+        abs(
+            ratio
+            - ooc["mmap_peak_rss_bytes"] / ooc["in_memory_peak_rss_bytes"]
+        )
+        < 1e-6,
+        "out_of_core.rss_ratio must equal mmap_peak_rss_bytes / "
+        "in_memory_peak_rss_bytes",
+    )
+    _require(
+        ratio <= MAX_OUT_OF_CORE_RSS_RATIO,
+        f"out_of_core.rss_ratio ({ratio}) exceeds the "
+        f"{MAX_OUT_OF_CORE_RSS_RATIO} ceiling",
+    )
+    _require(
+        ooc.get("results_identical") is True,
+        "out_of_core.results_identical must be true (backends returned "
+        "different results)",
+    )
+
+    _require(
+        payload.get("shm_segments_leaked") == 0,
+        f"shm_segments_leaked must be 0: {payload.get('shm_segments_leaked')!r}",
+    )
+    _require(
+        payload.get("tempfiles_leaked") == 0,
+        f"tempfiles_leaked must be 0: {payload.get('tempfiles_leaked')!r}",
     )

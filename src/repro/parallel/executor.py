@@ -30,7 +30,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+from contextlib import ExitStack
+from typing import Callable, ContextManager, List, Optional, Sequence, Tuple
 
 from repro.core.plan import MatchPlan, PreparedQuery
 from repro.enumeration.stats import EnumerationOutcome, EnumerationStats
@@ -134,10 +135,15 @@ class ParallelContext:
         n_workers: int,
         handle_provider: Callable[[], SharedGraphHandle],
         chunks: int = DEFAULT_CHUNKS,
+        guard: Optional[Callable[[], ContextManager[None]]] = None,
     ) -> None:
         self.n_workers = n_workers
         self._handle_provider = handle_provider
         self.chunks = chunks
+        #: Optional context-manager factory held for the whole dispatch —
+        #: the session uses it to defer a concurrent close() until no
+        #: worker can still be attaching to the shared segment.
+        self._guard = guard
         #: Chunk timings from the last execute() — consumed by
         #: bench_parallel's makespan model.
         self.last_chunk_seconds: List[float] = []
@@ -189,34 +195,39 @@ class ParallelContext:
         """
         roots = prepared.candidates.size(prepared.order[0])
         bounds = chunk_bounds(roots, self.chunks)
-        try:
-            handle = self._handle_provider()
-            pool = get_pool(self.n_workers)
-        except (OSError, ValueError) as exc:
-            raise ParallelUnavailable(str(exc)) from exc
-        slot = pool.acquire_slot()
-        if slot is None:
-            add_counter("parallel.slot_exhausted", 1)
-            raise ParallelUnavailable("all cancel slots in use")
-        deadline_at = (
-            time.monotonic() + time_limit if time_limit is not None else None
-        )
-        with Timer() as timer:
+        with ExitStack() as stack:
+            if self._guard is not None:
+                stack.enter_context(self._guard())
             try:
-                results = self._dispatch(
-                    pool,
-                    handle,
-                    plan,
-                    query,
-                    bounds,
-                    match_limit,
-                    deadline_at,
-                    store_limit,
-                    slot,
-                    cancel,
-                )
-            finally:
-                pool.release_slot(slot)
+                handle = self._handle_provider()
+                pool = get_pool(self.n_workers)
+            except (OSError, ValueError) as exc:
+                raise ParallelUnavailable(str(exc)) from exc
+            slot = pool.acquire_slot()
+            if slot is None:
+                add_counter("parallel.slot_exhausted", 1)
+                raise ParallelUnavailable("all cancel slots in use")
+            deadline_at = (
+                time.monotonic() + time_limit
+                if time_limit is not None
+                else None
+            )
+            with Timer() as timer:
+                try:
+                    results = self._dispatch(
+                        pool,
+                        handle,
+                        plan,
+                        query,
+                        bounds,
+                        match_limit,
+                        deadline_at,
+                        store_limit,
+                        slot,
+                        cancel,
+                    )
+                finally:
+                    pool.release_slot(slot)
         self.last_chunk_seconds = [c.elapsed for c in results]
         outcome = merge_chunks(results, match_limit, store_limit)
         outcome.elapsed = timer.elapsed
@@ -280,5 +291,11 @@ class ParallelContext:
                     results.append(future.result())
             except BrokenProcessPool as exc:
                 pool.broken = True
+                raise ParallelUnavailable(str(exc)) from exc
+            except FileNotFoundError as exc:
+                # The shared segment vanished under a worker's attach —
+                # some other process unlinked it (the session-side guard
+                # prevents our own close() doing this). The workers are
+                # healthy; fall back to sequential enumeration.
                 raise ParallelUnavailable(str(exc)) from exc
         return results

@@ -1,13 +1,17 @@
 """Zero-copy graph publishing over POSIX shared memory.
 
-A :class:`SharedGraph` packs a data graph's four int64 arrays — labels,
-CSR offsets, CSR neighbors, and the label-sorted vertex permutation the
-label index is derived from — into **one** ``multiprocessing.shared_memory``
-segment. Worker processes receive only the tiny picklable
-:class:`SharedGraphHandle` (segment name + layout) and :func:`attach` maps
-the segment read-only-by-convention via ``np.frombuffer`` +
-:meth:`~repro.graph.graph.Graph.from_csr` — no copy, no unpickling, and
-the attach cost is independent of graph size.
+This module is the :mod:`repro.parallel` façade over
+:class:`repro.graph.store.SharedMemoryStore` — the layout, packing, and
+segment lifecycle all live in the store layer, so shared memory and the
+``.rgf``/memmap backend serialize through one code path. What remains
+here is the worker-facing API shape the pool machinery uses:
+
+* :class:`SharedGraph` — publish a graph, exposing the picklable
+  :class:`~repro.graph.store.SharedGraphHandle` and an idempotent
+  :meth:`~SharedGraph.unlink`;
+* :func:`attach` — map a published segment by name, returning
+  ``(segment, graph)`` where the graph's arrays are zero-copy views into
+  the segment's buffer.
 
 Lifecycle: the publishing process owns the segment and must call
 :meth:`SharedGraph.unlink` exactly once when no process needs it anymore
@@ -20,48 +24,13 @@ close is attempted on the worker side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Tuple
 
-import numpy as np
-
 from repro.graph.graph import Graph
+from repro.graph.store import SharedGraphHandle, SharedMemoryStore
 
 __all__ = ["SharedGraph", "SharedGraphHandle", "attach"]
-
-_ITEMSIZE = np.dtype(np.int64).itemsize
-
-
-@dataclass(frozen=True)
-class SharedGraphHandle:
-    """Picklable descriptor of a published graph: name plus array layout.
-
-    ``directed_edges`` is the length of the neighbors array (``2|E|`` for
-    an undirected CSR with mirrored edges).
-    """
-
-    name: str
-    num_vertices: int
-    num_edges: int
-    directed_edges: int
-
-    @property
-    def total_items(self) -> int:
-        n = self.num_vertices
-        # labels(n) | offsets(n+1) | neighbors(2E) | by_label(n)
-        return n + (n + 1) + self.directed_edges + n
-
-
-def _layout(handle: SharedGraphHandle, base: np.ndarray) -> Tuple[
-    np.ndarray, np.ndarray, np.ndarray, np.ndarray
-]:
-    n, m = handle.num_vertices, handle.directed_edges
-    labels = base[0:n]
-    offsets = base[n : 2 * n + 1]
-    neighbors = base[2 * n + 1 : 2 * n + 1 + m]
-    by_label = base[2 * n + 1 + m : 3 * n + 1 + m]
-    return labels, offsets, neighbors, by_label
 
 
 class SharedGraph:
@@ -76,35 +45,12 @@ class SharedGraph:
     """
 
     def __init__(self, graph: Graph) -> None:
-        n = graph.num_vertices
-        offsets, neighbors = graph.csr
-        m = int(neighbors.size)
-        handle_size = (3 * n + 1 + m) * _ITEMSIZE
-        # Zero-vertex graphs still need a nonzero-size segment.
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=max(handle_size, _ITEMSIZE)
-        )
-        self.handle = SharedGraphHandle(
-            name=self._shm.name,
-            num_vertices=n,
-            num_edges=graph.num_edges,
-            directed_edges=m,
-        )
-        base = np.frombuffer(
-            self._shm.buf, dtype=np.int64, count=self.handle.total_items
-        )
-        dst_labels, dst_offsets, dst_neighbors, dst_by_label = _layout(
-            self.handle, base
-        )
-        dst_labels[:] = graph.labels
-        dst_offsets[:] = offsets
-        dst_neighbors[:] = neighbors
-        # The stable label argsort is what Graph's label index is built
-        # from; shipping it lets every attacher skip the O(n log n) sort.
-        dst_by_label[:] = np.argsort(graph.labels, kind="stable")
-        # Release our own view so unlink() can close the mapping cleanly.
-        del base, dst_labels, dst_offsets, dst_neighbors, dst_by_label
-        self._unlinked = False
+        self._store = SharedMemoryStore.publish(graph)
+        self.handle = self._store.handle
+
+    @property
+    def store(self) -> SharedMemoryStore:
+        return self._store
 
     @property
     def name(self) -> str:
@@ -112,15 +58,11 @@ class SharedGraph:
 
     @property
     def nbytes(self) -> int:
-        return self.handle.total_items * _ITEMSIZE
+        return self._store.nbytes
 
     def unlink(self) -> None:
         """Close and remove the segment (idempotent, owner side only)."""
-        if self._unlinked:
-            return
-        self._unlinked = True
-        self._shm.close()
-        self._shm.unlink()
+        self._store.close()
 
     def __enter__(self) -> "SharedGraph":
         return self
@@ -145,14 +87,5 @@ def attach(
     together is the whole cleanup; the owner's :meth:`SharedGraph.unlink`
     removes the name.
     """
-    shm = shared_memory.SharedMemory(name=handle.name)
-    base = np.frombuffer(shm.buf, dtype=np.int64, count=handle.total_items)
-    labels, offsets, neighbors, by_label = _layout(handle, base)
-    graph = Graph.from_csr(
-        labels,
-        offsets,
-        neighbors,
-        num_edges=handle.num_edges,
-        by_label=by_label,
-    )
-    return shm, graph
+    store = SharedMemoryStore.attach(handle)
+    return store.segment, store.graph()

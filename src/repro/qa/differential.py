@@ -22,8 +22,11 @@ comparison on a mutated or reloaded (query, data) pair via
 
 from __future__ import annotations
 
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baselines import brute_force_matches, vf2_matches
 from repro.core.algorithms import PRESETS
@@ -32,6 +35,7 @@ from repro.core.session import MatchSession
 from repro.core.verify import verify_embedding
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
+from repro.graph.store import MmapStore, SharedMemoryStore, write_rgf
 from repro.qa.generator import PlantedCase, apply_transform
 from repro.utils.kernels import available_kernels
 
@@ -75,8 +79,12 @@ class Config:
     ``"vf2"`` or ``"bruteforce"`` (the oracles; ``algorithm``/``kernel``/
     ``engine`` are ignored there). ``engine`` ``None`` defers to the
     registry default, so historical corpus records replay unchanged —
-    and so does ``n_workers`` ``None`` (sequential), the intra-query
-    parallelism axis (:mod:`repro.parallel`).
+    and so do ``n_workers`` ``None`` (sequential), the intra-query
+    parallelism axis (:mod:`repro.parallel`), and ``storage`` ``None``
+    (the in-memory arrays), the residency axis: ``"rgf"`` round-trips
+    the data graph through the binary format and runs off the memmap
+    view, ``"shm"`` runs off a shared-memory segment
+    (:mod:`repro.graph.store`).
     """
 
     algorithm: str = "GQL"
@@ -84,6 +92,7 @@ class Config:
     mode: str = "oneshot"
     engine: Optional[str] = None
     n_workers: Optional[int] = None
+    storage: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Optional[str]]:
         return {
@@ -92,6 +101,7 @@ class Config:
             "mode": self.mode,
             "engine": self.engine,
             "n_workers": self.n_workers,
+            "storage": self.storage,
         }
 
     @classmethod
@@ -103,6 +113,7 @@ class Config:
             mode=payload.get("mode") or "oneshot",
             engine=payload.get("engine"),
             n_workers=int(n_workers) if n_workers is not None else None,
+            storage=payload.get("storage"),
         )
 
     def label(self) -> str:
@@ -111,8 +122,9 @@ class Config:
         kernel = f"/{self.kernel}" if self.kernel else ""
         engine = f"@{self.engine}" if self.engine else ""
         workers = f"|w{self.n_workers}" if self.n_workers else ""
+        storage = f"~{self.storage}" if self.storage else ""
         session = "+session" if self.mode == "session" else ""
-        return f"{self.algorithm}{kernel}{engine}{workers}{session}"
+        return f"{self.algorithm}{kernel}{engine}{workers}{storage}{session}"
 
 
 @dataclass
@@ -135,6 +147,40 @@ def normalize_embeddings(
     return frozenset(tuple(int(v) for v in emb) for emb in embeddings)
 
 
+@contextmanager
+def _stored_data(data: Graph, storage: Optional[str]) -> Iterator[Graph]:
+    """Resolve ``data`` through the requested storage backend.
+
+    ``None`` yields the graph untouched; ``"rgf"`` writes it to a
+    temporary ``.rgf`` file and yields the memmap-backed view (with
+    checksum validation on open); ``"shm"`` publishes it to a
+    shared-memory segment and yields the view over that segment. Either
+    way the backing store is closed (and the segment unlinked / the
+    tempfile removed) when the block exits.
+    """
+    if storage is None:
+        yield data
+        return
+    if storage == "rgf":
+        with tempfile.TemporaryDirectory(prefix="repro-qa-") as tmp:
+            path = Path(tmp) / "data.rgf"
+            write_rgf(data, path)
+            store = MmapStore(path, validate=True)
+            try:
+                yield store.graph()
+            finally:
+                store.close()
+        return
+    if storage == "shm":
+        store = SharedMemoryStore.publish(data)
+        try:
+            yield store.graph()
+        finally:
+            store.close()
+        return
+    raise ValueError(f"unknown storage backend: {storage!r}")
+
+
 def run_config(
     query: Graph,
     data: Graph,
@@ -142,6 +188,16 @@ def run_config(
     match_limit: int = DEFAULT_MATCH_LIMIT,
 ) -> Outcome:
     """Execute one configuration and normalize its result."""
+    with _stored_data(data, config.storage) as resident:
+        return _run_resident(query, resident, config, match_limit)
+
+
+def _run_resident(
+    query: Graph,
+    data: Graph,
+    config: Config,
+    match_limit: int,
+) -> Outcome:
     if config.mode == "vf2":
         found = vf2_matches(query, data, limit=match_limit)
         return Outcome(
@@ -305,6 +361,7 @@ def run_case(
     engines: Optional[Sequence[str]] = None,
     engine_algorithms: Sequence[str] = ("GQLfs", "DPfs"),
     worker_counts: Sequence[int] = (2,),
+    storages: Sequence[str] = ("rgf", "shm"),
     oracle: bool = True,
     bruteforce_budget: int = 200_000,
     metamorphic: bool = True,
@@ -484,6 +541,66 @@ def run_case(
                         "parallel run reordered embeddings",
                     )
                 )
+
+    # Storage-backend axis: the baseline preset rerun with the data
+    # graph resident in each alternate backend (``.rgf`` memmap,
+    # shared memory). The CSR arrays are byte-identical by construction
+    # (store fingerprints are compared first), so the match itself is
+    # held to the byte-identical contract: order-only differences are
+    # ``session_mismatch``, like the engine and parallel sweeps.
+    base_fingerprint = case.data.store.fingerprint()
+    for storage in storages:
+        config = Config(algorithm=presets[0], storage=storage)
+        try:
+            with _stored_data(case.data, storage) as resident:
+                fingerprint = resident.store.fingerprint()
+        except Exception as exc:  # noqa: BLE001 — any crash is a finding
+            divergences.append(
+                Divergence(
+                    kind="crash",
+                    detail=(
+                        f"{config.label()} backend raised "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    record=_record("crash", config),
+                    query=case.query,
+                    data=case.data,
+                    seed=case.seed,
+                    planted=case.planted,
+                )
+            )
+            continue
+        if fingerprint != base_fingerprint:
+            divergences.append(
+                _pair_divergence(
+                    "session_mismatch", base_config, config,
+                    base, base, case,
+                    f"{storage} store fingerprint differs from in-memory",
+                )
+            )
+            continue
+        outcome = run_checked(config)
+        if outcome is None:
+            continue
+        why = _outcomes_differ(base, outcome)
+        if why is not None:
+            divergences.append(
+                _pair_divergence(
+                    "count_mismatch" if why == "count" else "set_mismatch",
+                    base_config, config, base, outcome, case,
+                    f"{why} differs across storage backends",
+                )
+            )
+        elif not (base.capped or outcome.capped) and (
+            base.emb_list != outcome.emb_list
+        ):
+            divergences.append(
+                _pair_divergence(
+                    "session_mismatch", base_config, config,
+                    base, outcome, case,
+                    f"{storage} backend reordered embeddings",
+                )
+            )
 
     # MatchSession (miss then hit) vs the one-shot baseline result.
     session_config = Config(algorithm=session_algorithm, mode="session")

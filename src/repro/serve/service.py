@@ -75,6 +75,7 @@ from repro.errors import (
     UnknownGraphError,
 )
 from repro.graph.graph import Graph
+from repro.graph.store import GraphSource, as_graph
 from repro.obs import Metrics, span
 from repro.serve.clock import Clock, SystemClock
 
@@ -226,12 +227,19 @@ class MatchService:
     # Resident graphs and sessions
     # ------------------------------------------------------------------
 
-    def add_graph(self, name: str, graph: Graph) -> None:
-        """Register ``graph`` as the resident graph named ``name``."""
+    def add_graph(self, name: str, graph: "GraphSource") -> None:
+        """Register a resident graph under ``name``.
+
+        Accepts a :class:`~repro.graph.graph.Graph`, any
+        :class:`~repro.graph.store.GraphStore` backend, or a path to a
+        ``.graph``/``.rgf`` file — an ``.rgf`` path opens memmap-backed,
+        so a cold graph larger than RAM registers in O(header).
+        """
         if not name:
             raise ValueError("graph name must be non-empty")
+        resolved = as_graph(graph)
         with self._lock:
-            self._graphs[name] = graph
+            self._graphs[name] = resolved
 
     def remove_graph(self, name: str) -> None:
         """Drop a resident graph and every session built on it."""

@@ -33,6 +33,7 @@ from repro.core.session import MatchSession
 from repro.core.spec import AlgorithmSpec
 from repro.glasgow.solver import glasgow_match
 from repro.graph.graph import Graph
+from repro.graph.store import GraphSource, SharedMemoryStore, as_graph
 from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle, attach
 from repro.study.runner import (
     QueryRecord,
@@ -115,7 +116,7 @@ def _run_one(task: Tuple[int, Graph]) -> QueryRecord:
 
 def run_algorithm_on_set_parallel(
     algorithm: AlgorithmLike,
-    data: Graph,
+    data: GraphSource,
     queries: Sequence[Graph],
     dataset_key: str = "?",
     query_set_label: str = "?",
@@ -127,7 +128,10 @@ def run_algorithm_on_set_parallel(
 
     Results are identical (same per-query records, in query order);
     wall-clock time is roughly divided by ``workers`` for CPU-bound
-    workloads.
+    workloads. ``data`` may be a :class:`Graph`, any
+    :class:`~repro.graph.store.GraphStore`, or a ``.graph``/``.rgf``
+    path; a graph already backed by a shared-memory store is not
+    republished — workers attach to the existing segment.
     """
     if not isinstance(algorithm, (str, AlgorithmSpec)):
         raise TypeError(
@@ -140,6 +144,7 @@ def run_algorithm_on_set_parallel(
     if time_limit is None:
         time_limit = default_time_limit()
 
+    data = as_graph(data)
     summary = RunSummary(
         algorithm=(
             algorithm if isinstance(algorithm, str) else algorithm.name
@@ -149,16 +154,22 @@ def run_algorithm_on_set_parallel(
         time_limit=time_limit,
     )
     tasks = list(enumerate(queries))
-    shared = SharedGraph(data)
+    store = data._store
+    if isinstance(store, SharedMemoryStore):
+        shared, handle = None, store.handle
+    else:
+        shared = SharedGraph(data)
+        handle = shared.handle
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(shared.handle, algorithm, match_limit, time_limit),
+            initargs=(handle, algorithm, match_limit, time_limit),
         ) as pool:
             for record in pool.map(_run_one, tasks):
                 summary.records.append(record)
     finally:
-        shared.unlink()
+        if shared is not None:
+            shared.unlink()
     summary.records.sort(key=lambda r: r.query_index)
     return summary

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -68,6 +69,31 @@ __all__ = [
 AUTO_DENSITY_THRESHOLD = 1.0 / 16.0
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Default byte budget for the bitset kernel's cached encodings, in MB.
+#: Overridable via the ``REPRO_BITSET_CACHE_MB`` environment variable —
+#: the out-of-core regime (memmap-backed graphs larger than RAM) needs
+#: this one unbounded per-graph cache to stop growing with the graph.
+DEFAULT_BITSET_CACHE_MB = 64.0
+
+
+def _bitset_cache_budget() -> int:
+    """Resolve the encode-cache byte budget from the environment."""
+    raw = os.environ.get("REPRO_BITSET_CACHE_MB")
+    if raw is None:
+        mb = DEFAULT_BITSET_CACHE_MB
+    else:
+        try:
+            mb = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_BITSET_CACHE_MB must be a number, got {raw!r}"
+            ) from None
+        if mb < 0:
+            raise ConfigurationError(
+                f"REPRO_BITSET_CACHE_MB must be >= 0, got {raw!r}"
+            )
+    return int(mb * 1024 * 1024)
 
 
 def _as_i64(values: Sequence[int]) -> np.ndarray:
@@ -188,12 +214,22 @@ class BitsetKernel(KernelBackend):
 
     name = "bitset"
 
-    __slots__ = ("_cache",)
+    __slots__ = ("_cache", "_budget_bytes", "_cached_bytes")
 
-    def __init__(self) -> None:
+    def __init__(self, budget_bytes: Optional[int] = None) -> None:
         # id -> (keyed object, words). The object reference keeps the id
-        # alive; CPython recycles ids of collected objects.
-        self._cache: Dict[int, Tuple[Sequence[int], np.ndarray]] = {}
+        # alive; CPython recycles ids of collected objects. Ordered so
+        # the byte-budgeted eviction below can drop least-recently-used
+        # encodings first — without a bound this cache grows with the
+        # number of distinct candidate arrays, i.e. with the graph, which
+        # the out-of-core regime cannot afford.
+        self._cache: "OrderedDict[int, Tuple[Sequence[int], np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._budget_bytes = (
+            _bitset_cache_budget() if budget_bytes is None else budget_bytes
+        )
+        self._cached_bytes = 0
 
     @staticmethod
     def encode(values: Sequence[int]) -> np.ndarray:
@@ -219,14 +255,26 @@ class BitsetKernel(KernelBackend):
         """Pack with memoization keyed on object identity.
 
         Candidate adjacency arrays are immutable once built, so identity
-        caching is sound; pass long-lived arrays, not temporaries.
+        caching is sound; pass long-lived arrays, not temporaries. The
+        cache holds at most ``REPRO_BITSET_CACHE_MB`` of encodings,
+        evicting least-recently-used entries past the budget; an
+        encoding alone larger than the whole budget is returned uncached.
         """
-        entry = self._cache.get(id(values))
-        if entry is None:
-            words = self.encode(values)
-            self._cache[id(values)] = (values, words)
+        key = id(values)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+            return entry[1]
+        words = self.encode(values)
+        nbytes = int(words.nbytes)
+        if nbytes > self._budget_bytes:
             return words
-        return entry[1]
+        while self._cache and self._cached_bytes + nbytes > self._budget_bytes:
+            _, (_, evicted) = self._cache.popitem(last=False)
+            self._cached_bytes -= int(evicted.nbytes)
+        self._cache[key] = (values, words)
+        self._cached_bytes += nbytes
+        return words
 
     def intersect(self, a: Sequence[int], b: Sequence[int]) -> np.ndarray:
         wa = self.encode_cached(a)
@@ -257,6 +305,15 @@ class BitsetKernel(KernelBackend):
     def clear(self) -> None:
         """Drop all cached encodings."""
         self._cache.clear()
+        self._cached_bytes = 0
+
+    def cache_info(self) -> dict:
+        """Entries, bytes held, and the byte budget of the encode cache."""
+        return {
+            "entries": len(self._cache),
+            "bytes": self._cached_bytes,
+            "budget_bytes": self._budget_bytes,
+        }
 
     def __getstate__(self) -> dict:
         # The cache is keyed by object identity; ids do not survive a
@@ -264,10 +321,14 @@ class BitsetKernel(KernelBackend):
         # would silently alias a different array). Ship the kernel empty.
         # A falsy state would make pickle skip __setstate__ and leave the
         # slot unset, hence the marker.
-        return {"cache": "dropped"}
+        return {"cache": "dropped", "budget_bytes": self._budget_bytes}
 
     def __setstate__(self, state: dict) -> None:
-        self._cache = {}
+        self._cache = OrderedDict()
+        self._cached_bytes = 0
+        self._budget_bytes = state.get(
+            "budget_bytes", _bitset_cache_budget()
+        )
 
 
 class QFilterKernel(KernelBackend):

@@ -1,0 +1,101 @@
+"""Backend-parity properties for the storage layer.
+
+The storage contract is byte identity: any graph round-tripped through
+the ``.rgf`` binary format or a shared-memory segment must come back
+with identical CSR arrays, the same store fingerprint, and — run through
+the matcher — the exact embedding list the in-memory arrays produce.
+Pinned corpus seeds from historical fuzz findings ride along.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from strategies import connected_graphs, corpus_seeds, graphs
+
+from repro.core.api import match
+from repro.graph.store import (
+    InMemoryStore,
+    MmapStore,
+    SharedMemoryStore,
+    write_rgf,
+)
+from repro.qa import plant_case
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SEEDS = st.integers(0, 2**20)
+
+
+def _pin_corpus_seeds(test):
+    for seed in corpus_seeds():
+        test = example(seed=seed)(test)
+    return test
+
+
+def _assert_arrays_identical(store, graph):
+    assert np.array_equal(store.labels, graph.labels)
+    assert np.array_equal(store.neighbors, graph._neighbors)
+    assert store.graph() == graph
+    assert store.fingerprint() == graph.store.fingerprint()
+
+
+@_SETTINGS
+@given(graph=graphs(min_vertices=0, max_vertices=12))
+def test_rgf_round_trip_is_byte_identical(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("rgf") / "g.rgf"
+    write_rgf(graph, path)
+    with MmapStore(path, validate=True) as store:
+        _assert_arrays_identical(store, graph)
+
+
+@_SETTINGS
+@given(graph=graphs(min_vertices=1, max_vertices=12))
+def test_shared_memory_round_trip_is_byte_identical(graph):
+    owner = SharedMemoryStore.publish(graph)
+    try:
+        attached = SharedMemoryStore.attach(owner.handle)
+        try:
+            _assert_arrays_identical(attached, graph)
+        finally:
+            attached.close()
+    finally:
+        owner.close()
+
+
+@_SETTINGS
+@given(graph=connected_graphs())
+def test_materialize_round_trip(graph):
+    copy = InMemoryStore.materialize(graph.store)
+    _assert_arrays_identical(copy, graph)
+
+
+@_pin_corpus_seeds
+@_SETTINGS
+@given(seed=SEEDS)
+def test_match_results_identical_across_backends(seed, tmp_path_factory):
+    case = plant_case(seed, max_data=24)
+    baseline = match(case.query, case.data, algorithm="GQL",
+                     match_limit=5000, store_limit=5000)
+
+    path = tmp_path_factory.mktemp("parity") / "data.rgf"
+    write_rgf(case.data, path)
+    with MmapStore(path, validate=True) as store:
+        from_mmap = match(case.query, store.graph(), algorithm="GQL",
+                          match_limit=5000, store_limit=5000)
+
+    owner = SharedMemoryStore.publish(case.data)
+    try:
+        from_shm = match(case.query, owner.graph(), algorithm="GQL",
+                         match_limit=5000, store_limit=5000)
+    finally:
+        owner.close()
+
+    assert from_mmap.num_matches == baseline.num_matches
+    assert from_shm.num_matches == baseline.num_matches
+    assert from_mmap.embeddings == baseline.embeddings
+    assert from_shm.embeddings == baseline.embeddings

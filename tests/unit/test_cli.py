@@ -326,3 +326,34 @@ class TestServeCommand:
         assert code == 0
         assert "add_graph over the wire" in out
         assert "coalesce=False" in out
+
+
+class TestConvertCommand:
+    def test_text_to_rgf_and_back(self, graph_files, tmp_path, capsys):
+        _, data_path = graph_files
+        rgf = tmp_path / "data.rgf"
+        code = main(["convert", "-i", data_path, "-o", str(rgf),
+                     "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validated" in out
+        assert load_graph(rgf) == load_graph(data_path)
+
+        back = tmp_path / "back.graph"
+        code = main(["convert", "-i", str(rgf), "-o", str(back),
+                     "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round-trip identical" in out
+        assert load_graph(back) == load_graph(data_path)
+
+    def test_rgf_match_runs_from_converted_file(self, graph_files,
+                                                tmp_path, capsys):
+        query_path, data_path = graph_files
+        rgf = tmp_path / "data.rgf"
+        assert main(["convert", "-i", data_path, "-o", str(rgf)]) == 0
+        capsys.readouterr()
+        code = main(["match", "-q", query_path, "-d", str(rgf), "-a", "GQL"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matches" in out

@@ -61,6 +61,69 @@ class TestLoads:
             loads_graph("t 2 1\nv 0 0\nv 1 0\ne 0\n")
 
 
+class TestTypedErrors:
+    """Malformed input raises GraphFormatError, never raw numpy/int errors."""
+
+    def test_non_integer_header_token(self):
+        with pytest.raises(GraphFormatError, match="line 1.*integer"):
+            loads_graph("t x 0\n")
+
+    def test_non_integer_vertex_label(self):
+        with pytest.raises(GraphFormatError, match="line 2.*integer"):
+            loads_graph("t 1 0\nv 0 abc\n")
+
+    def test_non_integer_edge_endpoint(self):
+        with pytest.raises(GraphFormatError, match="line 4.*integer"):
+            loads_graph("t 2 1\nv 0 0\nv 1 0\ne 0 1.5\n")
+
+    def test_out_of_range_edge_becomes_format_error(self):
+        with pytest.raises(GraphFormatError):
+            loads_graph("t 2 1\nv 0 0\nv 1 0\ne 0 9\n")
+
+    def test_source_context_in_message(self):
+        with pytest.raises(GraphFormatError, match="data.graph"):
+            loads_graph("t x 0\n", source="data.graph")
+
+    def test_load_graph_names_file(self, tmp_path):
+        path = tmp_path / "broken.graph"
+        path.write_text("t x 0\n")
+        with pytest.raises(GraphFormatError, match="broken.graph"):
+            load_graph(path)
+
+    def test_load_graph_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="nope.graph"):
+            load_graph(tmp_path / "nope.graph")
+
+    def test_load_graph_binary_junk(self, tmp_path):
+        path = tmp_path / "junk.graph"
+        path.write_bytes(bytes([0xFF, 0xFE, 0x00, 0x80]) * 8)
+        with pytest.raises(GraphFormatError):
+            load_graph(path)
+
+
+class TestRgfDispatch:
+    def test_save_load_rgf_by_suffix(self, tmp_path, paper_data):
+        path = tmp_path / "d.rgf"
+        save_graph(paper_data, path)
+        loaded = load_graph(path)
+        assert loaded == paper_data
+        assert loaded._store is not None and loaded._store.backend == "mmap"
+
+    def test_magic_sniff_without_suffix(self, tmp_path, paper_data):
+        from repro.graph import write_rgf
+
+        path = tmp_path / "d.bin"
+        write_rgf(paper_data, path)
+        assert load_graph(path) == paper_data
+
+    def test_truncated_rgf_is_typed(self, tmp_path, paper_data):
+        path = tmp_path / "d.rgf"
+        save_graph(paper_data, path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            load_graph(path)
+
+
 class TestRoundtrip:
     def test_dumps_loads_identity(self, paper_data):
         assert loads_graph(dumps_graph(paper_data)) == paper_data

@@ -230,3 +230,66 @@ class TestMultiIntersectShortCircuit:
         assert list(result) == []
         # First two lists encode; their AND is empty, so the rest skip.
         assert kernel.encodes == 2
+
+
+class TestBitsetCacheBudget:
+    """The encode cache is a byte-budgeted LRU (REPRO_BITSET_CACHE_MB)."""
+
+    def test_default_budget_from_env(self, monkeypatch):
+        from repro.utils.kernels import _bitset_cache_budget
+
+        monkeypatch.delenv("REPRO_BITSET_CACHE_MB", raising=False)
+        assert _bitset_cache_budget() == int(64.0 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_BITSET_CACHE_MB", "0.5")
+        assert _bitset_cache_budget() == int(0.5 * 1024 * 1024)
+
+    def test_invalid_env_raises(self, monkeypatch):
+        from repro.utils.kernels import _bitset_cache_budget
+
+        monkeypatch.setenv("REPRO_BITSET_CACHE_MB", "lots")
+        with pytest.raises(ConfigurationError):
+            _bitset_cache_budget()
+        monkeypatch.setenv("REPRO_BITSET_CACHE_MB", "-1")
+        with pytest.raises(ConfigurationError):
+            _bitset_cache_budget()
+
+    def test_eviction_is_lru(self):
+        # Budget fits exactly two encodings of [0..63] (one word = 8
+        # bytes each): inserting a third evicts the least recently used.
+        kernel = BitsetKernel(budget_bytes=16)
+        a, b, c = [1], [2], [3]
+        wa = kernel.encode_cached(a)
+        kernel.encode_cached(b)
+        assert kernel.encode_cached(a) is wa  # touch a: b becomes LRU
+        kernel.encode_cached(c)  # evicts b
+        info = kernel.cache_info()
+        assert info["entries"] == 2
+        assert info["bytes"] <= 16
+        assert kernel.encode_cached(a) is wa  # a survived
+
+    def test_oversized_encoding_bypasses_cache(self):
+        kernel = BitsetKernel(budget_bytes=8)
+        big = [0, 64, 128]  # three words = 24 bytes > budget
+        first = kernel.encode_cached(big)
+        assert kernel.encode_cached(big) is not first
+        assert kernel.cache_info()["entries"] == 0
+
+    def test_clear_resets_byte_accounting(self):
+        kernel = BitsetKernel(budget_bytes=1024)
+        kernel.encode_cached([1, 2, 3])
+        assert kernel.cache_info()["bytes"] > 0
+        kernel.clear()
+        info = kernel.cache_info()
+        assert info == {"entries": 0, "bytes": 0, "budget_bytes": 1024}
+
+    def test_pickle_preserves_budget_drops_cache(self):
+        import pickle
+
+        kernel = BitsetKernel(budget_bytes=4096)
+        values = [1, 2, 3]
+        kernel.encode_cached(values)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.cache_info()["entries"] == 0
+        assert clone.cache_info()["budget_bytes"] == 4096
+        # And the clone still works.
+        assert clone.intersect([1, 2], [2, 3]).tolist() == [2]

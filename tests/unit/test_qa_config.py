@@ -31,6 +31,22 @@ class TestConfigRoundTrip:
         assert "w2" in Config(algorithm="GQL", n_workers=2).label()
         assert "w" not in Config(algorithm="GQL").label()
 
+    def test_storage_round_trips(self):
+        config = Config(algorithm="GQL", storage="rgf")
+        clone = Config.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.storage == "rgf"
+
+    def test_legacy_payload_defaults_to_in_memory(self):
+        config = Config.from_dict(
+            {"algorithm": "GQL", "kernel": None, "mode": "oneshot"}
+        )
+        assert config.storage is None
+
+    def test_label_shows_storage_backend(self):
+        assert "~shm" in Config(algorithm="GQL", storage="shm").label()
+        assert "~" not in Config(algorithm="GQL").label()
+
 
 class TestDefaultEngines:
     def test_recursive_engine_is_opt_in(self):
@@ -62,3 +78,41 @@ class TestParallelConfigRuns:
         assert par.count == seq.count
         assert par.emb_list == seq.emb_list
         assert par.repeat_list == seq.repeat_list
+
+
+class TestStorageConfigRuns:
+    def test_storage_backends_match_in_memory(self):
+        case = plant_case(5, max_data=24)
+        base = run_config(case.query, case.data, Config(algorithm="GQL"))
+        for storage in ("rgf", "shm"):
+            other = run_config(
+                case.query, case.data,
+                Config(algorithm="GQL", storage=storage),
+            )
+            assert other.count == base.count
+            assert other.emb_list == base.emb_list
+
+    def test_unknown_storage_backend_rejected(self):
+        import pytest
+
+        case = plant_case(5, max_data=24)
+        with pytest.raises(ValueError, match="storage"):
+            run_config(
+                case.query, case.data,
+                Config(algorithm="GQL", storage="floppy"),
+            )
+
+    def test_run_case_sweeps_storage_clean(self):
+        from repro.qa.differential import run_case
+
+        case = plant_case(13, max_data=24)
+        divergences = run_case(
+            case,
+            presets=["GQL"],
+            kernels=[],
+            engines=["iterative"],
+            worker_counts=(),
+            oracle=False,
+            metamorphic=False,
+        )
+        assert divergences == []

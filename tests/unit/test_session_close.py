@@ -1,0 +1,143 @@
+"""Regression tests for MatchSession.close(): idempotent, race-safe.
+
+The close contract: callable any number of times from any thread, and a
+close racing an in-flight parallel dispatch defers the shared-memory
+unlink until the last dispatch drains (workers must never lose the
+segment mid-attach).
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.session import MatchSession
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.store import SharedMemoryStore
+
+
+def _shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def data():
+    return erdos_renyi_graph(60, 6.0, 3, seed=11)
+
+
+class TestIdempotentClose:
+    def test_close_without_parallel_is_noop(self, data):
+        session = MatchSession(data)
+        session.close()
+        session.close()
+
+    def test_double_close_after_publish(self, data):
+        session = MatchSession(data)
+        handle = session._shared_handle()
+        assert _shm_exists(handle.name)
+        session.close()
+        assert not _shm_exists(handle.name)
+        session.close()  # second close must not raise
+
+    def test_concurrent_close_from_many_threads(self, data):
+        session = MatchSession(data)
+        handle = session._shared_handle()
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    session.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert not _shm_exists(handle.name)
+
+    def test_session_usable_after_close(self, data, paper_query):
+        # close() releases the segment, not the session: a later match
+        # (sequential or parallel) republishes on demand.
+        session = MatchSession(data)
+        first = session._shared_handle()
+        session.close()
+        second = session._shared_handle()
+        assert _shm_exists(second.name)
+        assert second.name != first.name
+        session.close()
+
+
+class TestDeferredClose:
+    def test_close_defers_while_dispatch_in_flight(self, data):
+        session = MatchSession(data)
+        handle = session._shared_handle()
+        with session._parallel_guard():
+            session.close()
+            # Deferred: the segment must survive the in-flight dispatch.
+            assert session._close_deferred
+            assert _shm_exists(handle.name)
+        # Last guard exit performs the deferred release.
+        assert not session._close_deferred
+        assert not _shm_exists(handle.name)
+
+    def test_nested_guards_release_on_last_exit(self, data):
+        session = MatchSession(data)
+        handle = session._shared_handle()
+        with session._parallel_guard():
+            with session._parallel_guard():
+                session.close()
+            assert _shm_exists(handle.name)  # one guard still active
+        assert not _shm_exists(handle.name)
+
+    def test_close_race_against_guard_threads(self, data):
+        session = MatchSession(data)
+        handle = session._shared_handle()
+        barrier = threading.Barrier(5)
+        errors = []
+
+        def dispatch():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    with session._parallel_guard():
+                        pass
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def closer():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    session.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=dispatch) for _ in range(3)]
+        threads += [threading.Thread(target=closer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        session.close()
+        assert not _shm_exists(handle.name)
+
+
+class TestPreSharedData:
+    def test_session_reuses_existing_segment(self, data):
+        owner = SharedMemoryStore.publish(data)
+        try:
+            session = MatchSession(owner.graph())
+            handle = session._shared_handle()
+            assert handle.name == owner.name
+            # The owner, not the session, is responsible for the
+            # segment: close() must leave it alone.
+            session.close()
+            assert _shm_exists(owner.name)
+        finally:
+            owner.close()
+        assert not _shm_exists(owner.name)
