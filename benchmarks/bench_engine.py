@@ -31,7 +31,12 @@ if __name__ == "__main__":  # standalone run: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.session import MatchSession
+from repro.enumeration.engines import enable_recursive_baseline
 from repro.graph.generators import rmat_graph
+
+# The benchmark's entire subject is recursive-vs-iterative — opt into
+# the retired baseline explicitly.
+enable_recursive_baseline()
 from repro.graph.query_gen import extract_query
 from repro.obs.schema import BENCH_ENGINE_SCHEMA_VERSION, validate_bench_engine
 

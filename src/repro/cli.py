@@ -184,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-failures", type=int, default=10,
         help="stop after this many divergent cases (default 10)",
     )
+    p_fuzz.add_argument(
+        "--mutate", action="store_true",
+        help="also run the mutation axis: seeded mutation scripts with "
+        "the mutate-then-match differential after every batch",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -452,6 +457,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir,
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
+        mutate=args.mutate,
     )
     print(report.summary())
     for divergence in report.divergences:

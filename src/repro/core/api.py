@@ -76,12 +76,13 @@ def match(
         explicit kernel keeps it. Ignored (and recorded as ``None`` on the
         result) when the algorithm's ComputeLC is not Algorithm 5.
     engine:
-        Enumeration engine by registry name (``"iterative"`` — the
-        default — or ``"recursive"``; see
+        Enumeration engine by registry name (``"iterative"`` is the
+        default and the only engine registered out of the box; the
+        retired ``"recursive"`` baseline needs the opt-in described in
         :mod:`repro.enumeration.engines`). ``None`` defers to the
         ``REPRO_ENGINE`` environment variable, falling back to the
-        registry default. Both engines produce identical results; the
-        resolved name is recorded as ``MatchResult.engine``.
+        registry default. The resolved name is recorded as
+        ``MatchResult.engine``.
     cancel:
         Optional zero-argument callable polled by the engine at the
         deadline stride; once it returns True the enumeration stops and

@@ -36,8 +36,8 @@ class MatchResult:
     kernel: Optional[str] = None
 
     #: Registry name of the enumeration engine that ran the search
-    #: (``"iterative"`` or ``"recursive"``; see
-    #: :mod:`repro.enumeration.engines`).
+    #: (``"iterative"``, or ``"recursive"`` when the retired baseline
+    #: is opted in; see :mod:`repro.enumeration.engines`).
     engine: Optional[str] = None
 
     preprocessing_seconds: float = 0.0

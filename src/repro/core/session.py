@@ -46,7 +46,8 @@ from __future__ import annotations
 import threading
 import weakref
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.plan import (
     AlgorithmLike,
@@ -59,6 +60,10 @@ from repro.core.plan import (
 )
 from repro.core.result import MatchResult
 from repro.core.spec import AlgorithmSpec
+from repro.errors import ConfigurationError
+from repro.dynamic.mutations import Mutation
+from repro.dynamic.overlay import DynamicGraph, MutationDelta
+from repro.dynamic.subscribe import Subscription, SubscriptionUpdate
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
 from repro.graph.store import GraphSource, SharedMemoryStore, as_graph
@@ -68,7 +73,26 @@ from repro.parallel.pool import resolve_workers
 from repro.parallel.shared_graph import SharedGraph, SharedGraphHandle
 from repro.utils.kernels import KernelBackend
 
-__all__ = ["MatchSession"]
+__all__ = ["MatchSession", "MutationOutcome"]
+
+#: What ``MatchSession.mutate`` accepts: built ops or plain op tuples.
+MutationLike = Union[Mutation, Sequence]
+
+
+@dataclass(frozen=True)
+class MutationOutcome:
+    """What one :meth:`MatchSession.mutate` call changed.
+
+    ``updates`` is aligned with :attr:`MatchSession.subscriptions` at
+    the time of the call — one embedding delta per standing query.
+    """
+
+    delta: MutationDelta
+    updates: Tuple[SubscriptionUpdate, ...] = ()
+
+    @property
+    def epoch(self) -> int:
+        return self.delta.epoch
 
 
 class MatchSession:
@@ -79,10 +103,13 @@ class MatchSession:
     data:
         The data graph this session serves — a :class:`Graph`, any
         :class:`~repro.graph.store.GraphStore` (in-memory, memmap,
-        shared-memory), or a path to a ``.graph``/``.rgf`` file
-        (resolved through :func:`~repro.graph.store.as_graph`).
-        Immutable (as all graphs are), so every cache below remains
-        valid for the session's life.
+        shared-memory), a path to a ``.graph``/``.rgf`` file (resolved
+        through :func:`~repro.graph.store.as_graph`), or a
+        :class:`~repro.dynamic.overlay.DynamicGraph`. For immutable
+        sources every cache below remains valid for the session's life;
+        for a dynamic graph the caches key on the graph **epoch**, so a
+        :meth:`mutate` invalidates exactly the entries whose graph
+        changed — a cache hit happens iff the epoch is unchanged.
     algorithm:
         Default algorithm for :meth:`match` calls that don't name one.
     kernel:
@@ -90,8 +117,10 @@ class MatchSession:
         :func:`repro.core.api.match`); per-call ``kernel=`` wins.
     engine:
         Default enumeration-engine request by registry name
-        (``"iterative"``, ``"recursive"``); per-call ``engine=`` wins and
-        ``None`` defers to ``REPRO_ENGINE`` / the registry default.
+        (``"iterative"``; the retired ``"recursive"`` baseline needs the
+        opt-in in :mod:`repro.enumeration.engines`); per-call
+        ``engine=`` wins and ``None`` defers to ``REPRO_ENGINE`` / the
+        registry default.
     plan_cache_size:
         LRU capacity for compiled plans (``None`` unbounded, ``0`` off).
     prep_cache_size:
@@ -124,20 +153,32 @@ class MatchSession:
         record_cache_metrics: bool = True,
         n_workers: Optional[int] = None,
     ) -> None:
-        self.data = as_graph(data)
+        if isinstance(data, DynamicGraph):
+            #: The mutable resident graph (``None`` for static sessions).
+            self.dynamic: Optional[DynamicGraph] = data
+            self._resident: Tuple[int, Graph] = data.versioned_snapshot()
+        else:
+            self.dynamic = None
+            self._resident = (0, as_graph(data))
         self.algorithm = algorithm
         self.kernel = kernel
         self.engine = engine
         self.n_workers = n_workers
-        # The shared-memory published copy of `data`, created on the
-        # first parallel-eligible match and kept for the session's life
-        # (workers cache their attachment by segment name). The finalizer
-        # covers sessions that are never explicitly closed. A data graph
-        # already backed by a SharedMemoryStore is never republished —
-        # workers attach to the existing segment by name.
-        self._shared_graph = None
+        # Shared-memory published copies of the served snapshot, keyed
+        # by epoch: created on the first parallel-eligible match of an
+        # epoch and kept until the epoch is superseded (or the session's
+        # life for static sessions). Workers cache their attachment by
+        # segment name; finalizers cover sessions that are never
+        # explicitly closed. A data graph already backed by a
+        # SharedMemoryStore is never republished — workers attach to the
+        # existing segment by name.
+        self._shared_graphs: dict = {}
         self._shared_lock = threading.Lock()
-        self._finalizer = None
+        # Serializes mutate()/subscribe() against each other; match()
+        # deliberately does not take it — it reads the (epoch, snapshot)
+        # pair atomically and runs against that immutable snapshot.
+        self._mutate_lock = threading.RLock()
+        self._subscriptions: List[Subscription] = []
         # close() must not unlink the segment under an in-flight parallel
         # dispatch (workers would hit FileNotFoundError mid-attach);
         # dispatches register through _parallel_guard and a close that
@@ -157,37 +198,64 @@ class MatchSession:
         self._metrics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Resident snapshot
+    # ------------------------------------------------------------------
+
+    @property
+    def data(self) -> Graph:
+        """The immutable snapshot currently served.
+
+        Static sessions hold one snapshot forever; dynamic sessions
+        advance it on every :meth:`mutate`. In-flight matches keep the
+        snapshot they captured, so a mutation never changes a running
+        query's view of the graph.
+        """
+        return self._resident[1]
+
+    @property
+    def data_epoch(self) -> int:
+        """The epoch of the served snapshot (0 for static sessions)."""
+        return self._resident[0]
+
+    # ------------------------------------------------------------------
     # Parallel execution support
     # ------------------------------------------------------------------
 
-    def _shared_handle(self) -> SharedGraphHandle:
-        """The session's published graph (created once, on first need).
+    def _shared_handle_for(self, epoch: int, data: Graph) -> SharedGraphHandle:
+        """The published copy of one epoch's snapshot (created on first need).
 
-        A data graph whose arrays already live in a
+        A snapshot whose arrays already live in a
         :class:`~repro.graph.store.SharedMemoryStore` segment is not
         republished: workers attach to that segment by name, and its
         owner (not this session) remains responsible for unlinking it.
         """
-        store = self.data._store
+        store = data._store
         if isinstance(store, SharedMemoryStore):
             return store.handle
         with self._shared_lock:
-            if self._shared_graph is None:
-                shared = SharedGraph(self.data)
-                self._shared_graph = shared
-                self._finalizer = weakref.finalize(self, shared.unlink)
-            return self._shared_graph.handle
+            entry = self._shared_graphs.get(epoch)
+            if entry is None:
+                shared = SharedGraph(data)
+                finalizer = weakref.finalize(self, shared.unlink)
+                entry = (shared, finalizer)
+                self._shared_graphs[epoch] = entry
+            return entry[0].handle
 
-    def _release_shared_locked(self) -> None:
-        # Caller holds _shared_lock.
-        self._close_deferred = False
-        if self._finalizer is not None:
-            self._finalizer()
-            self._finalizer = None
-        self._shared_graph = None
+    def _shared_handle(self) -> SharedGraphHandle:
+        """The published copy of the *current* snapshot."""
+        epoch, data = self._resident
+        return self._shared_handle_for(epoch, data)
+
+    def _release_shared_locked(self, keep: Optional[int] = None) -> None:
+        # Caller holds _shared_lock. Releases every published epoch
+        # except `keep` (None releases all).
+        for ep in list(self._shared_graphs):
+            if keep is None or ep != keep:
+                _, finalizer = self._shared_graphs.pop(ep)
+                finalizer()
 
     def close(self) -> None:
-        """Release the session's shared-memory segment.
+        """Release the session's shared-memory segments.
 
         Idempotent and safe to call concurrently with in-flight parallel
         dispatch: a close that races an active fan-out defers the
@@ -202,11 +270,17 @@ class MatchSession:
             if self._inflight_parallel > 0:
                 self._close_deferred = True
                 return
+            self._close_deferred = False
             self._release_shared_locked()
 
     @contextmanager
     def _parallel_guard(self) -> Iterator[None]:
-        """Held around each parallel dispatch; makes close() defer."""
+        """Held around each parallel dispatch; makes close() defer.
+
+        When the last dispatch drains, superseded epochs' segments are
+        released too — a mutation that raced a parallel fan-out leaves
+        no stale segment behind.
+        """
         with self._shared_lock:
             self._inflight_parallel += 1
         try:
@@ -214,19 +288,30 @@ class MatchSession:
         finally:
             with self._shared_lock:
                 self._inflight_parallel -= 1
-                if self._inflight_parallel == 0 and self._close_deferred:
-                    self._release_shared_locked()
+                if self._inflight_parallel == 0:
+                    if self._close_deferred:
+                        self._close_deferred = False
+                        self._release_shared_locked()
+                    elif self.dynamic is not None:
+                        self._release_shared_locked(keep=self._resident[0])
 
     def _parallel_context(
-        self, n_workers: Optional[int]
+        self,
+        n_workers: Optional[int],
+        epoch: Optional[int] = None,
+        data: Optional[Graph] = None,
     ) -> Optional[ParallelContext]:
         effective = resolve_workers(
             self.n_workers if n_workers is None else n_workers
         )
         if effective <= 0:
             return None
+        if data is None:
+            epoch, data = self._resident
         return ParallelContext(
-            effective, self._shared_handle, guard=self._parallel_guard
+            effective,
+            lambda: self._shared_handle_for(epoch, data),
+            guard=self._parallel_guard,
         )
 
     # ------------------------------------------------------------------
@@ -258,21 +343,41 @@ class MatchSession:
         """Resolve (or fetch) the plan for ``query``; returns (plan, hit).
 
         The cache key is ``(algorithm, kernel policy, engine policy,
-        fingerprint)`` — order-invariant in the query, so isomorphic
-        renumberings share a slot.
+        graph epoch, fingerprint)`` — order-invariant in the query, so
+        isomorphic renumberings share a slot; keyed by epoch, so a
+        mutation invalidates exactly the stale entries (static sessions
+        sit at epoch 0 forever).
         """
+        epoch, data = self._resident
+        return self._compile_on(epoch, data, query, algorithm, kernel, engine)
+
+    def _compile_on(
+        self,
+        epoch: int,
+        data: Graph,
+        query: Graph,
+        algorithm: Optional[AlgorithmLike],
+        kernel: Optional[KernelLike],
+        engine: Optional[str],
+    ) -> Tuple[MatchPlan, bool]:
         algo = self.algorithm if algorithm is None else algorithm
         kern = self.kernel if kernel is None else kernel
         eng = self.engine if engine is None else engine
         fingerprint = query_fingerprint(query)
-        key = (self._algorithm_key(algo), self._kernel_key(kern), eng, fingerprint)
+        key = (
+            self._algorithm_key(algo),
+            self._kernel_key(kern),
+            eng,
+            epoch,
+            fingerprint,
+        )
         plan = self._plans.get(key)
         if plan is not None:
             return plan, True
         plan = compile_plan(
             algo,
             query,
-            self.data,
+            data,
             kernel=kern,
             fingerprint=fingerprint,
             engine=eng,
@@ -315,19 +420,28 @@ class MatchSession:
         kern = self.kernel if kernel is None else kernel
         eng = self.engine if engine is None else engine
 
-        plan, plan_hit = self.compile(
-            query, algorithm=algo, kernel=kern, engine=eng
-        )
+        # One atomic read pins this call to a single epoch's snapshot;
+        # a concurrent mutate() swaps the pair but never this view.
+        epoch, data = self._resident
+
+        plan, plan_hit = self._compile_on(epoch, data, query, algo, kern, eng)
 
         prep_enabled = self._prep.capacity != 0
         prep_key = None
         prepared = None
         if prep_enabled:
             # Exact-graph key: Graph hashes/compares its label and CSR
-            # arrays, so only a byte-identical query reuses artifacts.
-            # The engine is deliberately absent — preprocessing artifacts
-            # are engine-independent, so both engines share warm entries.
-            prep_key = (self._algorithm_key(algo), self._kernel_key(kern), query)
+            # arrays, so only a byte-identical query reuses artifacts —
+            # and only at the same graph epoch (cache hit iff the graph
+            # is unchanged). The engine is deliberately absent —
+            # preprocessing artifacts are engine-independent, so both
+            # engines share warm entries.
+            prep_key = (
+                self._algorithm_key(algo),
+                self._kernel_key(kern),
+                epoch,
+                query,
+            )
             prepared = self._prep.get(prep_key)
         prep_hit = prepared is not None
 
@@ -338,18 +452,22 @@ class MatchSession:
             if prep_enabled:
                 metrics.add("plan.prep_hit", int(prep_hit))
                 metrics.add("plan.prep_miss", int(not prep_hit))
+        if self.dynamic is not None:
+            # Stamp which epoch answered: the snapshot-isolation witness
+            # the serving tier (and its stress suite) reads back.
+            metrics.add("session.data_epoch", epoch)
 
         result, prepared = run_plan(
             plan,
             query,
-            self.data,
+            data,
             prepared=prepared,
             match_limit=match_limit,
             time_limit=time_limit,
             store_limit=store_limit,
             metrics=metrics,
             cancel=cancel,
-            parallel=self._parallel_context(n_workers),
+            parallel=self._parallel_context(n_workers, epoch, data),
         )
         if prep_enabled and not prep_hit:
             self._prep.put(prep_key, prepared)
@@ -462,6 +580,105 @@ class MatchSession:
             ).num_matches
             > 0
         )
+
+    # ------------------------------------------------------------------
+    # Mutation and continuous queries (dynamic sessions)
+    # ------------------------------------------------------------------
+
+    def _require_dynamic(self) -> DynamicGraph:
+        if self.dynamic is None:
+            raise ConfigurationError(
+                "this session serves an immutable graph; build it over a "
+                "repro.dynamic.DynamicGraph to mutate or subscribe"
+            )
+        return self.dynamic
+
+    def mutate(self, mutations: Iterable[MutationLike]) -> MutationOutcome:
+        """Apply one mutation batch to the resident dynamic graph.
+
+        Accepts :class:`~repro.dynamic.mutations.Mutation` objects or
+        plain op tuples (``("add_edge", u, v)``, ``("remove_edge", u,
+        v)``, ``("add_vertex", label)``). The batch is applied
+        atomically: the graph epoch advances once, every standing
+        :meth:`subscribe` query reports its exact embedding delta in the
+        returned outcome, and the served snapshot swaps — in-flight
+        matches keep the snapshot they captured, later matches see the
+        new epoch, and the epoch-keyed plan/prep caches invalidate
+        exactly the superseded entries.
+        """
+        dynamic = self._require_dynamic()
+        batch = [
+            m if isinstance(m, Mutation) else Mutation.from_json(m)
+            for m in mutations
+        ]
+        with self._mutate_lock:
+            delta = dynamic.apply(batch)
+            return self.ingest(delta)
+
+    def ingest(self, delta: MutationDelta) -> MutationOutcome:
+        """Fold an *externally applied* mutation delta into this session.
+
+        :class:`~repro.serve.service.MatchService` applies one batch to
+        a shared :class:`DynamicGraph` and fans the delta out to every
+        tenant session built on it; everyone else wants :meth:`mutate`.
+        Idempotent per delta: subscriptions skip deltas at or below
+        their epoch, and the resident snapshot only advances.
+        """
+        dynamic = self._require_dynamic()
+        with self._mutate_lock:
+            updates = tuple(sub.on_delta(delta) for sub in self._subscriptions)
+            if dynamic.epoch != self._resident[0]:
+                self._resident = dynamic.versioned_snapshot()
+                with self._shared_lock:
+                    # Retire published segments of superseded epochs now
+                    # if nothing is in flight; otherwise the last
+                    # draining parallel guard sweeps them.
+                    if self._inflight_parallel == 0 and not self._close_deferred:
+                        self._release_shared_locked(keep=self._resident[0])
+        with self._metrics_lock:
+            self.metrics.add("session.mutations")
+            self.metrics.add(
+                "session.mutated_edges",
+                len(delta.added_edges) + len(delta.removed_edges),
+            )
+            self.metrics.add(
+                "session.mutated_vertices", len(delta.added_vertices)
+            )
+        return MutationOutcome(delta=delta, updates=updates)
+
+    def subscribe(
+        self,
+        query: Graph,
+        kernel: Optional[str] = None,
+        match_limit: int = 100_000,
+    ) -> Subscription:
+        """Register ``query`` as a standing (continuous) query.
+
+        The returned :class:`~repro.dynamic.subscribe.Subscription`
+        holds the current embedding set; every subsequent
+        :meth:`mutate` outcome carries its exact embedding delta.
+        """
+        dynamic = self._require_dynamic()
+        if kernel is None and isinstance(self.kernel, str):
+            kernel = self.kernel
+        with self._mutate_lock:
+            sub = Subscription(
+                query, dynamic, kernel=kernel, match_limit=match_limit
+            )
+            self._subscriptions.append(sub)
+        with self._metrics_lock:
+            self.metrics.add("session.subscriptions")
+        return sub
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Drop a standing query registered with :meth:`subscribe`."""
+        with self._mutate_lock:
+            self._subscriptions.remove(subscription)
+
+    @property
+    def subscriptions(self) -> Tuple[Subscription, ...]:
+        """The standing queries, in registration order."""
+        return tuple(self._subscriptions)
 
     # ------------------------------------------------------------------
     # Introspection / maintenance

@@ -1,0 +1,124 @@
+"""Mutation vocabulary shared by the dynamic layer and the QA harness.
+
+A mutation is one of three ops on a resident graph:
+
+``("add_edge", u, v)``
+    Insert the undirected edge ``e(u, v)``. Inserting an edge that is
+    already present is a no-op (the delta does not report it).
+``("remove_edge", u, v)``
+    Delete the undirected edge ``e(u, v)``. Deleting an absent edge is
+    a no-op.
+``("add_vertex", label)``
+    Append a fresh isolated vertex carrying ``label``; it receives the
+    next dense id.
+
+Vertex *removal* is deliberately absent: dense ids are load-bearing
+across every candidate structure and CSR buffer, and the serving
+scenarios in ROADMAP item 4 (agent memory, streaming entity edges) are
+append-heavy. A "removed" vertex is modeled by removing its edges.
+
+Scripts — sequences of mutation *batches* — are plain data so the QA
+corpus can serialize them verbatim: a script is a list of batches, a
+batch a list of ``Mutation`` ops. :func:`script_to_json` /
+:func:`script_from_json` round-trip through the ``repro.qa/v1`` JSON
+corpus format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+__all__ = [
+    "ADD_EDGE",
+    "REMOVE_EDGE",
+    "ADD_VERTEX",
+    "MUTATION_OPS",
+    "Mutation",
+    "MutationScript",
+    "sanitize_batch",
+    "script_to_json",
+    "script_from_json",
+]
+
+ADD_EDGE = "add_edge"
+REMOVE_EDGE = "remove_edge"
+ADD_VERTEX = "add_vertex"
+
+#: Recognized mutation opcodes.
+MUTATION_OPS = (ADD_EDGE, REMOVE_EDGE, ADD_VERTEX)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One mutation op.
+
+    ``a``/``b`` are the edge endpoints for edge ops; for ``add_vertex``
+    ``a`` is the label and ``b`` is unused (kept at ``-1``).
+    """
+
+    op: str
+    a: int
+    b: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in MUTATION_OPS:
+            raise ValueError(f"unknown mutation op {self.op!r}")
+
+    def to_json(self) -> List[Any]:
+        if self.op == ADD_VERTEX:
+            return [self.op, self.a]
+        return [self.op, self.a, self.b]
+
+    @classmethod
+    def from_json(cls, payload: Sequence[Any]) -> "Mutation":
+        op = str(payload[0])
+        if op == ADD_VERTEX:
+            return cls(op, int(payload[1]))
+        return cls(op, int(payload[1]), int(payload[2]))
+
+
+#: A script: a tuple of batches, each batch a tuple of mutations.
+MutationScript = Tuple[Tuple[Mutation, ...], ...]
+
+
+def sanitize_batch(
+    batch: Sequence[Mutation], num_vertices: int
+) -> Tuple[Tuple[Mutation, ...], int]:
+    """Drop ops that are invalid against a graph of ``num_vertices``.
+
+    The QA shrinker deletes data vertices underneath a recorded mutation
+    script, so replay must tolerate edge ops whose endpoints no longer
+    exist (or collide into self-loops). ``add_vertex`` ops grow the id
+    space for the ops after them, matching the batch-application
+    semantics of :meth:`repro.dynamic.overlay.DynamicGraph.apply`.
+    Returns the kept ops and the post-batch vertex count.
+    """
+    kept: List[Mutation] = []
+    n = int(num_vertices)
+    for mutation in batch:
+        if mutation.op == ADD_VERTEX:
+            if mutation.a >= 0:
+                kept.append(mutation)
+                n += 1
+        elif (
+            0 <= mutation.a < n
+            and 0 <= mutation.b < n
+            and mutation.a != mutation.b
+        ):
+            kept.append(mutation)
+    return tuple(kept), n
+
+
+def script_to_json(script: Sequence[Sequence[Mutation]]) -> List[List[List[Any]]]:
+    """Serialize a mutation script for the ``repro.qa/v1`` corpus."""
+    return [[m.to_json() for m in batch] for batch in script]
+
+
+def script_from_json(payload: Any) -> MutationScript:
+    """Parse a mutation script from its corpus JSON form."""
+    if payload is None:
+        return ()
+    return tuple(
+        tuple(Mutation.from_json(item) for item in batch) for batch in payload
+    )

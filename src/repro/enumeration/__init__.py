@@ -1,10 +1,11 @@
 """Enumeration: the backtracking search of Algorithm 1 (paper Section 3.3).
 
 The study's third axis. Two engines implement the same semantics — the
-recursive :class:`~repro.enumeration.engine.BacktrackingEngine`
-(reference baseline) and the iterative
-:class:`~repro.enumeration.frames.FrameMachine` (default; explicit frame
-stacks, vectorized conflict filtering, leaf batching, pause/resume) —
+iterative :class:`~repro.enumeration.frames.FrameMachine` (default;
+explicit frame stacks, vectorized conflict filtering, leaf batching,
+pause/resume) and the recursive
+:class:`~repro.enumeration.engine.BacktrackingEngine` (retired from the
+default registry; opt-in differential baseline for one more release) —
 selected through the :mod:`~repro.enumeration.engines` registry. The
 :mod:`~repro.enumeration.local_candidates` module provides the four
 ComputeLC strategies (Algorithms 2–5); failing-sets pruning (Section 3.4)
@@ -16,6 +17,7 @@ from repro.enumeration.engines import (
     DEFAULT_ENGINE,
     available_engines,
     create_engine,
+    enable_recursive_baseline,
     register_engine,
     resolve_engine_name,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "FrameMachine",
     "FrameSnapshot",
     "DEFAULT_ENGINE",
+    "enable_recursive_baseline",
     "register_engine",
     "available_engines",
     "resolve_engine_name",

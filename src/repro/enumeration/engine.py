@@ -17,8 +17,11 @@ recurse.
 This engine is the *reference semantics*: the iterative
 :class:`~repro.enumeration.frames.FrameMachine` must produce byte-identical
 embeddings and identical counters, which the QA differential harness and
-the engine-parity property suite enforce. It is retained one release as
-that differential baseline (select it with ``engine="recursive"``).
+the engine-parity property suite enforce. It is retired from the default
+engine registry and retained one more release as that differential
+baseline — opt in with ``REPRO_ENGINE=recursive`` or
+:func:`repro.enumeration.engines.enable_recursive_baseline`, then select
+it with ``engine="recursive"``.
 """
 
 from __future__ import annotations

@@ -1,13 +1,17 @@
 """Enumeration-engine registry, mirroring the kernel registry.
 
-Two engines implement the same Algorithm 1 semantics:
+The default registry carries one engine: ``"iterative"`` —
+:class:`~repro.enumeration.frames.FrameMachine`, the explicit frame
+machine that has been the default since it reached embedding and counter
+parity with the recursive reference implementation.
 
-* ``"recursive"`` — :class:`~repro.enumeration.engine.BacktrackingEngine`,
-  the reference implementation, retained one release as the differential
-  baseline;
-* ``"iterative"`` — :class:`~repro.enumeration.frames.FrameMachine`, the
-  explicit frame machine (the default: same embeddings and counters,
-  several times faster on enumeration-heavy workloads).
+The ``"recursive"`` :class:`~repro.enumeration.engine.BacktrackingEngine`
+is **retired from the default registry** but kept for one more release
+as the QA opt-in differential baseline: setting ``REPRO_ENGINE=recursive``
+(or calling :func:`enable_recursive_baseline`) re-registers it, which is
+how the engine-parity suites and the QA fuzz sweep run it. Without the
+opt-in, requesting ``engine="recursive"`` raises
+:class:`~repro.errors.ConfigurationError` like any unknown engine.
 
 Selection follows the kernel convention: an explicit name
 (``match(engine=...)`` / ``--engine``) wins, then the ``REPRO_ENGINE``
@@ -26,6 +30,7 @@ from repro.enumeration.frames import FrameMachine
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "enable_recursive_baseline",
     "register_engine",
     "available_engines",
     "resolve_engine_name",
@@ -36,9 +41,24 @@ __all__ = [
 DEFAULT_ENGINE = "iterative"
 
 _FACTORIES: Dict[str, Callable[..., object]] = {
-    "recursive": BacktrackingEngine,
     "iterative": FrameMachine,
 }
+
+
+def enable_recursive_baseline() -> None:
+    """Opt back into the retired recursive engine (idempotent).
+
+    The QA harness and the engine-parity suites call this so the frame
+    machine keeps a live differential baseline for one more release;
+    everything else should not.
+    """
+    _FACTORIES.setdefault("recursive", BacktrackingEngine)
+
+
+if os.environ.get("REPRO_ENGINE") == "recursive":
+    # The env-var opt-in: honored at import so existing workflows
+    # (CLI diff runs, CI parity jobs) keep working unchanged.
+    enable_recursive_baseline()
 
 
 def register_engine(name: str, factory: Callable[..., object]) -> None:
@@ -60,16 +80,25 @@ def resolve_engine_name(name: Optional[str] = None) -> str:
     """Resolve a requested engine name to a registered one.
 
     ``None`` falls back to the ``REPRO_ENGINE`` environment variable,
-    then to :data:`DEFAULT_ENGINE`. Unknown names raise
+    then to :data:`DEFAULT_ENGINE`. Unknown names — including the
+    retired ``"recursive"`` without its opt-in — raise
     :class:`~repro.errors.ConfigurationError`.
     """
     if name is None:
         name = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+        if name == "recursive":
+            # A fresh env opt-in set after import still counts.
+            enable_recursive_baseline()
     if name not in _FACTORIES:
-        known = ", ".join(available_engines())
-        raise ConfigurationError(
-            f"unknown enumeration engine {name!r}; available: {known}"
-        )
+        if name == "recursive" and os.environ.get("REPRO_ENGINE") == "recursive":
+            enable_recursive_baseline()
+        else:
+            known = ", ".join(available_engines())
+            raise ConfigurationError(
+                f"unknown enumeration engine {name!r}; available: {known} "
+                "(the retired 'recursive' baseline needs "
+                "REPRO_ENGINE=recursive or enable_recursive_baseline())"
+            )
     return name
 
 

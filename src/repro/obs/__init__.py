@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     total_candidates,
 )
 from repro.obs.schema import (
+    BENCH_DYNAMIC_SCHEMA_VERSION,
     BENCH_ENGINE_SCHEMA_VERSION,
     BENCH_KERNELS_SCHEMA_VERSION,
     BENCH_PARALLEL_SCHEMA_VERSION,
@@ -40,9 +41,11 @@ from repro.obs.schema import (
     BENCH_STORAGE_SCHEMA_VERSION,
     MAX_MMAP_WARM_OVERHEAD,
     MAX_OUT_OF_CORE_RSS_RATIO,
+    MIN_DYNAMIC_SPEEDUP,
     MIN_PARALLEL_SPEEDUP,
     TRACE_SCHEMA,
     TraceSchemaError,
+    validate_bench_dynamic,
     validate_bench_engine,
     validate_bench_kernels,
     validate_bench_parallel,
@@ -81,6 +84,7 @@ __all__ = [
     "total_candidates",
     # schema
     "TRACE_SCHEMA",
+    "BENCH_DYNAMIC_SCHEMA_VERSION",
     "BENCH_ENGINE_SCHEMA_VERSION",
     "BENCH_KERNELS_SCHEMA_VERSION",
     "BENCH_PARALLEL_SCHEMA_VERSION",
@@ -89,8 +93,10 @@ __all__ = [
     "BENCH_STORAGE_SCHEMA_VERSION",
     "MAX_MMAP_WARM_OVERHEAD",
     "MAX_OUT_OF_CORE_RSS_RATIO",
+    "MIN_DYNAMIC_SPEEDUP",
     "MIN_PARALLEL_SPEEDUP",
     "TraceSchemaError",
+    "validate_bench_dynamic",
     "validate_bench_engine",
     "validate_bench_kernels",
     "validate_bench_parallel",

@@ -55,6 +55,15 @@ dependency):
   halves carry a results-identical attestation; the validator enforces
   the overhead and RSS ceilings plus tempfile/shared-memory leak
   counts.
+
+* **BENCH_dynamic.json** (``benchmarks/bench_dynamic.py``): the
+  mutate-then-match payload — per-batch incremental candidate
+  maintenance (:class:`~repro.dynamic.IncrementalCandidates` over a
+  :class:`~repro.dynamic.DynamicGraph`) vs a from-scratch graph rebuild
+  plus a full candidate build, on a 1%-churn mutation script. The
+  validator enforces the ``MIN_DYNAMIC_SPEEDUP`` floor, the
+  states-identical and final-match-identical attestations, and zero
+  shared-memory/tempfile leaks.
 """
 
 from __future__ import annotations
@@ -83,6 +92,9 @@ __all__ = [
     "MAX_MMAP_WARM_OVERHEAD",
     "MAX_OUT_OF_CORE_RSS_RATIO",
     "validate_bench_storage",
+    "BENCH_DYNAMIC_SCHEMA_VERSION",
+    "MIN_DYNAMIC_SPEEDUP",
+    "validate_bench_dynamic",
 ]
 
 #: Identifier stamped into every trace header line.
@@ -115,6 +127,13 @@ MAX_MMAP_WARM_OVERHEAD = 1.3
 #: Out-of-core peak RSS must be at most this fraction of the
 #: materialized run's peak RSS.
 MAX_OUT_OF_CORE_RSS_RATIO = 0.5
+
+#: Version stamped into BENCH_dynamic.json payloads.
+BENCH_DYNAMIC_SCHEMA_VERSION = 1
+
+#: Per-batch incremental candidate maintenance must beat a from-scratch
+#: rebuild by at least this factor on the benchmark's 1%-churn workload.
+MIN_DYNAMIC_SPEEDUP = 5.0
 
 #: Span end may precede a parent's end by this much (float timer jitter).
 _NEST_SLACK = 1e-9
@@ -754,6 +773,93 @@ def validate_bench_storage(payload: Dict[str, Any]) -> None:
         "different results)",
     )
 
+    _require(
+        payload.get("shm_segments_leaked") == 0,
+        f"shm_segments_leaked must be 0: {payload.get('shm_segments_leaked')!r}",
+    )
+    _require(
+        payload.get("tempfiles_leaked") == 0,
+        f"tempfiles_leaked must be 0: {payload.get('tempfiles_leaked')!r}",
+    )
+
+
+def validate_bench_dynamic(payload: Dict[str, Any]) -> None:
+    """Validate a BENCH_dynamic.json payload against the current schema.
+
+    Besides shape, the validator enforces the benchmark's substance: the
+    incremental path must clear the ``MIN_DYNAMIC_SPEEDUP`` floor over
+    the from-scratch rebuild, both correctness attestations (candidate
+    state equality after every batch, byte-identical final match) must
+    hold, and the run must not leak shared-memory segments or tempfiles.
+    """
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(
+        payload.get("schema_version") == BENCH_DYNAMIC_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_DYNAMIC_SCHEMA_VERSION}: "
+        f"{payload.get('schema_version')!r}",
+    )
+    _require(
+        payload.get("benchmark") == "dynamic-mutation",
+        f"unexpected benchmark id {payload.get('benchmark')!r}",
+    )
+
+    workload = payload.get("workload")
+    _require(isinstance(workload, dict), "workload must be an object")
+    for key in (
+        "data_vertices",
+        "data_edges",
+        "query_vertices",
+        "num_batches",
+        "ops_total",
+    ):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"workload.{key} must be a positive int",
+        )
+    churn = workload.get("churn_fraction")
+    _require(
+        isinstance(churn, (int, float)) and 0 < churn <= 1,
+        "workload.churn_fraction must be in (0, 1]",
+    )
+
+    timings = payload.get("timings")
+    _require(isinstance(timings, dict), "timings must be an object")
+    for key in ("incremental_seconds", "scratch_seconds"):
+        _require(
+            isinstance(timings.get(key), (int, float)) and timings[key] > 0,
+            f"timings.{key} must be a positive number",
+        )
+
+    speedup = payload.get("speedup_incremental_vs_scratch")
+    _require(
+        isinstance(speedup, (int, float)) and speedup > 0,
+        "speedup_incremental_vs_scratch must be a positive number",
+    )
+    _require(
+        abs(
+            speedup
+            - timings["scratch_seconds"] / timings["incremental_seconds"]
+        )
+        < 1e-6,
+        "speedup_incremental_vs_scratch must equal "
+        "scratch_seconds / incremental_seconds",
+    )
+    _require(
+        speedup >= MIN_DYNAMIC_SPEEDUP,
+        f"speedup_incremental_vs_scratch ({speedup}) is below the "
+        f"{MIN_DYNAMIC_SPEEDUP}x floor",
+    )
+
+    _require(
+        payload.get("states_identical") is True,
+        "states_identical must be true (incremental candidate state "
+        "diverged from the from-scratch rebuild)",
+    )
+    _require(
+        payload.get("final_match_identical") is True,
+        "final_match_identical must be true (post-script match results "
+        "diverged)",
+    )
     _require(
         payload.get("shm_segments_leaked") == 0,
         f"shm_segments_leaked must be 0: {payload.get('shm_segments_leaked')!r}",

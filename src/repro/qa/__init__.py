@@ -34,12 +34,14 @@ from repro.qa.corpus import (
 )
 from repro.qa.differential import (
     DIVERGENCE_KINDS,
+    MUTATION_KINDS,
     Config,
     Divergence,
     divergence_reproduces,
     normalize_embeddings,
     run_case,
     run_config,
+    run_mutation_config,
 )
 from repro.qa.fuzz import FuzzReport, replay_corpus, run_fuzz
 from repro.qa.generator import (
@@ -48,6 +50,7 @@ from repro.qa.generator import (
     apply_transform,
     permute_label_alphabet,
     plant_case,
+    plant_mutation_script,
     renumber_vertices,
     shuffle_edges,
 )
@@ -56,6 +59,7 @@ from repro.qa.shrink import shrink_case
 __all__ = [
     "PlantedCase",
     "plant_case",
+    "plant_mutation_script",
     "TRANSFORMS",
     "apply_transform",
     "renumber_vertices",
@@ -64,8 +68,10 @@ __all__ = [
     "Config",
     "Divergence",
     "DIVERGENCE_KINDS",
+    "MUTATION_KINDS",
     "run_case",
     "run_config",
+    "run_mutation_config",
     "normalize_embeddings",
     "divergence_reproduces",
     "shrink_case",

@@ -11,6 +11,11 @@ For a planted case this module executes the query across
 * the independent :mod:`repro.baselines` oracles — VF2 always (cases are
   small by construction), brute force when the assignment space is tiny,
 * the metamorphic transforms of :mod:`repro.qa.generator`,
+* the mutate-then-match differential (:func:`run_mutation_config`): a
+  seeded mutation script applied batch by batch to a
+  :class:`~repro.dynamic.DynamicGraph`, with the incremental match, the
+  incrementally maintained candidate sets and the standing subscription
+  each cross-checked against a from-scratch rebuild after every batch,
 
 normalizes embeddings to order-free sets and reports every disagreement
 as a :class:`Divergence`. Each divergence carries a serializable
@@ -33,6 +38,14 @@ from repro.core.algorithms import PRESETS
 from repro.core.api import match
 from repro.core.session import MatchSession
 from repro.core.verify import verify_embedding
+from repro.dynamic import (
+    DynamicGraph,
+    IncrementalCandidates,
+    MutationScript,
+    sanitize_batch,
+    script_from_json,
+    script_to_json,
+)
 from repro.graph.fingerprint import query_fingerprint
 from repro.graph.graph import Graph
 from repro.graph.store import MmapStore, SharedMemoryStore, write_rgf
@@ -41,10 +54,12 @@ from repro.utils.kernels import available_kernels
 
 __all__ = [
     "DIVERGENCE_KINDS",
+    "MUTATION_KINDS",
     "Config",
     "Divergence",
     "Outcome",
     "run_config",
+    "run_mutation_config",
     "run_case",
     "normalize_embeddings",
     "divergence_reproduces",
@@ -62,6 +77,17 @@ DIVERGENCE_KINDS: Tuple[str, ...] = (
     "metamorphic_mismatch",  # result changed under an invariant transform
     "invalid_embedding",   # a returned embedding fails verify_embedding
     "crash",               # a configuration raised an exception
+    "mutation_mismatch",   # incremental mutate-then-match vs from-scratch rebuild
+    "candidate_drift",     # incremental candidate maintenance vs full rebuild
+    "subscription_mismatch",  # subscription delta vs the full-match difference
+)
+
+#: The divergence classes the mutation axis can emit; their replay path
+#: is :func:`run_mutation_config` rather than a pair of ordinary runs.
+MUTATION_KINDS: Tuple[str, ...] = (
+    "mutation_mismatch",
+    "candidate_drift",
+    "subscription_mismatch",
 )
 
 #: Embeddings are compared as sets of per-query-vertex tuples; both the
@@ -84,7 +110,13 @@ class Config:
     (the in-memory arrays), the residency axis: ``"rgf"`` round-trips
     the data graph through the binary format and runs off the memmap
     view, ``"shm"`` runs off a shared-memory segment
-    (:mod:`repro.graph.store`).
+    (:mod:`repro.graph.store`). ``mutations`` ``None`` (the static
+    default; legacy corpus records replay unchanged) versus a mutation
+    *script* — a tuple of batches of :class:`~repro.dynamic.Mutation`
+    ops — the dynamic axis: :func:`run_mutation_config` applies the
+    script batch by batch to a :class:`~repro.dynamic.DynamicGraph` and
+    cross-checks incremental state against a from-scratch rebuild after
+    every batch.
     """
 
     algorithm: str = "GQL"
@@ -93,6 +125,7 @@ class Config:
     engine: Optional[str] = None
     n_workers: Optional[int] = None
     storage: Optional[str] = None
+    mutations: Optional[MutationScript] = None
 
     def to_dict(self) -> Dict[str, Optional[str]]:
         return {
@@ -102,11 +135,17 @@ class Config:
             "engine": self.engine,
             "n_workers": self.n_workers,
             "storage": self.storage,
+            "mutations": (
+                script_to_json(self.mutations)
+                if self.mutations is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Optional[str]]) -> "Config":
         n_workers = payload.get("n_workers")
+        script = payload.get("mutations")
         return cls(
             algorithm=payload.get("algorithm") or "GQL",
             kernel=payload.get("kernel"),
@@ -114,6 +153,7 @@ class Config:
             engine=payload.get("engine"),
             n_workers=int(n_workers) if n_workers is not None else None,
             storage=payload.get("storage"),
+            mutations=script_from_json(script) if script else None,
         )
 
     def label(self) -> str:
@@ -124,7 +164,15 @@ class Config:
         workers = f"|w{self.n_workers}" if self.n_workers else ""
         storage = f"~{self.storage}" if self.storage else ""
         session = "+session" if self.mode == "session" else ""
-        return f"{self.algorithm}{kernel}{engine}{workers}{storage}{session}"
+        mutate = (
+            f"+mut{sum(len(b) for b in self.mutations)}"
+            if self.mutations
+            else ""
+        )
+        return (
+            f"{self.algorithm}{kernel}{engine}{workers}{storage}"
+            f"{session}{mutate}"
+        )
 
 
 @dataclass
@@ -255,6 +303,110 @@ def _run_resident(
     )
 
 
+def run_mutation_config(
+    query: Graph,
+    data: Graph,
+    config: Config,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+) -> Optional[Tuple[str, str]]:
+    """The mutate-then-match differential: first finding or ``None``.
+
+    ``config.mutations`` is applied batch by batch (after sanitizing ops
+    against the current vertex count — the shrinker deletes vertices
+    underneath recorded scripts) to a :class:`DynamicGraph` resident in
+    a :class:`MatchSession`, with a standing subscription riding along.
+    After **every** batch, three cross-checks against a from-scratch
+    rebuild of the post-batch graph:
+
+    * ``mutation_mismatch`` — the session's incremental match (epoch-
+      keyed caches, maintained snapshot) must be byte-identical to a
+      one-shot :func:`match` on a freshly constructed :class:`Graph`,
+      and the overlay snapshot itself must compare equal to that
+      rebuild (CSR is canonical, so equality is byte-parity);
+    * ``candidate_drift`` — :class:`IncrementalCandidates` state after
+      ``apply_delta`` must equal a ground-up rebuild on the same graph;
+    * ``subscription_mismatch`` — the subscription's standing embedding
+      set (initial set plus every reported delta) must equal the
+      from-scratch match set.
+    """
+    script = config.mutations or ()
+    with _stored_data(data, config.storage) as resident:
+        # Materialize the resident view into plain arrays: the dynamic
+        # overlay outlives the storage context (mmap/shm close on exit).
+        base = Graph(
+            labels=resident.labels.tolist(), edges=list(resident.edges())
+        )
+    dyn = DynamicGraph(base)
+    incremental = IncrementalCandidates(query, dyn)
+    session = MatchSession(
+        dyn,
+        algorithm=config.algorithm,
+        kernel=config.kernel,
+        engine=config.engine,
+    )
+    try:
+        subscription = session.subscribe(query, match_limit=match_limit)
+        n = dyn.num_vertices
+        for index, batch in enumerate(script):
+            kept, n = sanitize_batch(batch, n)
+            outcome = session.mutate(kept)
+            incremental.apply_delta(outcome.delta)
+
+            rebuilt = Graph(
+                labels=dyn.labels_list(), edges=list(dyn.edges())
+            )
+            if dyn.snapshot() != rebuilt:
+                return (
+                    "mutation_mismatch",
+                    f"batch {index}: overlay snapshot differs from the "
+                    "from-scratch rebuild",
+                )
+            inc_result = session.match(
+                query, match_limit=match_limit, store_limit=match_limit
+            )
+            scratch = match(
+                query,
+                rebuilt,
+                algorithm=config.algorithm,
+                kernel=config.kernel,
+                engine=config.engine,
+                match_limit=match_limit,
+                store_limit=match_limit,
+            )
+            capped = (
+                inc_result.num_matches >= match_limit
+                or scratch.num_matches >= match_limit
+            )
+            if inc_result.num_matches != scratch.num_matches or (
+                not capped
+                and list(inc_result.embeddings) != list(scratch.embeddings)
+            ):
+                return (
+                    "mutation_mismatch",
+                    f"batch {index}: incremental match "
+                    f"({inc_result.num_matches}) differs from from-scratch "
+                    f"({scratch.num_matches})",
+                )
+            if not incremental.equal_state(incremental.rebuild()):
+                return (
+                    "candidate_drift",
+                    f"batch {index}: incremental candidate state differs "
+                    "from a ground-up rebuild",
+                )
+            if not capped and set(subscription.matches()) != set(
+                normalize_embeddings(scratch.embeddings)
+            ):
+                return (
+                    "subscription_mismatch",
+                    f"batch {index}: subscription holds "
+                    f"{subscription.num_matches} embeddings, from-scratch "
+                    f"found {scratch.num_matches}",
+                )
+        return None
+    finally:
+        session.close()
+
+
 @dataclass
 class Divergence:
     """One detected disagreement, with everything needed to replay it.
@@ -345,9 +497,10 @@ def default_engines() -> List[str]:
     """Engines swept by default: the iterative engine only.
 
     The recursive engine is the retired reference implementation — it
-    survives in the registry as an explicit opt-in baseline (pass
-    ``engines=available_engines()`` to sweep it), but the default fuzz
-    run no longer spends its budget re-validating it.
+    is no longer in the default registry at all. To sweep it, call
+    :func:`repro.enumeration.engines.enable_recursive_baseline` (or set
+    ``REPRO_ENGINE=recursive``) and pass ``engines=available_engines()``;
+    the default fuzz run no longer spends its budget re-validating it.
     """
     return ["iterative"]
 
@@ -365,6 +518,7 @@ def run_case(
     oracle: bool = True,
     bruteforce_budget: int = 200_000,
     metamorphic: bool = True,
+    mutations: Optional[MutationScript] = None,
     match_limit: int = DEFAULT_MATCH_LIMIT,
 ) -> List[Divergence]:
     """Run one planted case through the full configuration matrix.
@@ -372,7 +526,11 @@ def run_case(
     Returns every divergence found (empty list = the case is clean). The
     first preset is the baseline all others are compared against; the
     oracles are compared against the baseline too, so a systematic
-    framework bug still surfaces as an ``oracle_mismatch``.
+    framework bug still surfaces as an ``oracle_mismatch``. When
+    ``mutations`` is given, the mutate-then-match differential
+    (:func:`run_mutation_config`) additionally sweeps the script over
+    the baseline preset, the session preset, one kernel config, every
+    requested engine, and every storage backend.
     """
     presets = list(presets) if presets is not None else default_presets()
     kernels = list(kernels) if kernels is not None else default_kernels()
@@ -689,6 +847,73 @@ def run_case(
                     )
                 )
 
+    # Mutation axis: the mutate-then-match differential, swept across a
+    # representative slice of the matrix. Every config replays through
+    # run_mutation_config, so the records need no second side.
+    if mutations:
+        mutation_configs: List[Config] = [
+            Config(algorithm=presets[0], mode="session", mutations=mutations),
+            Config(
+                algorithm=session_algorithm, mode="session",
+                mutations=mutations,
+            ),
+        ]
+        if kernels:
+            mutation_configs.append(
+                Config(
+                    algorithm=kernel_algorithm, kernel=kernels[0],
+                    mode="session", mutations=mutations,
+                )
+            )
+        for engine in engines:
+            mutation_configs.append(
+                Config(
+                    algorithm=engine_algorithms[0], engine=engine,
+                    mode="session", mutations=mutations,
+                )
+            )
+        for storage in storages:
+            mutation_configs.append(
+                Config(
+                    algorithm=presets[0], storage=storage,
+                    mode="session", mutations=mutations,
+                )
+            )
+        for config in dict.fromkeys(mutation_configs):
+            try:
+                finding = run_mutation_config(
+                    case.query, case.data, config, match_limit
+                )
+            except Exception as exc:  # noqa: BLE001 — any crash is a finding
+                divergences.append(
+                    Divergence(
+                        kind="crash",
+                        detail=(
+                            f"{config.label()} raised "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                        record=_record("crash", config),
+                        query=case.query,
+                        data=case.data,
+                        seed=case.seed,
+                        planted=case.planted,
+                    )
+                )
+                continue
+            if finding is not None:
+                kind, detail = finding
+                divergences.append(
+                    Divergence(
+                        kind=kind,
+                        detail=f"{config.label()}: {detail}",
+                        record=_record(kind, config),
+                        query=case.query,
+                        data=case.data,
+                        seed=case.seed,
+                        planted=case.planted,
+                    )
+                )
+
     return divergences
 
 
@@ -779,12 +1004,24 @@ def divergence_reproduces(record: Dict, query: Graph, data: Graph) -> bool:
 
     if kind == "crash":
         try:
-            run_config(query, data, config_a, match_limit)
+            if config_a.mutations:
+                run_mutation_config(query, data, config_a, match_limit)
+            else:
+                run_config(query, data, config_a, match_limit)
         except Exception:  # noqa: BLE001
             return True
         return False
 
     try:
+        if kind in MUTATION_KINDS:
+            # The mutation differential is self-contained: any of its
+            # three cross-checks firing (on any batch) counts as
+            # reproducing, so a shrink step that morphs e.g. a
+            # mutation_mismatch into candidate_drift is never declared
+            # "fixed".
+            return run_mutation_config(query, data, config_a, match_limit) \
+                is not None
+
         if kind == "invalid_embedding":
             outcome = run_config(query, data, config_a, match_limit)
             return any(

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.qa.corpus import iter_corpus, make_record, replay_repro, save_repro
 from repro.qa.differential import Divergence, run_case
-from repro.qa.generator import plant_case
+from repro.qa.generator import plant_case, plant_mutation_script
 from repro.qa.shrink import shrink_case
 
 __all__ = ["FuzzReport", "run_fuzz", "replay_corpus"]
@@ -64,6 +64,7 @@ def run_fuzz(
     max_failures: int = 10,
     case_options: Optional[Dict] = None,
     run_options: Optional[Dict] = None,
+    mutate: bool = False,
 ) -> FuzzReport:
     """Fuzz ``cases`` planted workloads; returns the full report.
 
@@ -87,6 +88,12 @@ def run_fuzz(
         Extra keyword arguments forwarded to
         :func:`~repro.qa.generator.plant_case` and
         :func:`~repro.qa.differential.run_case`.
+    mutate:
+        Also exercise the mutation axis: each case gets a seeded
+        mutation script (:func:`~repro.qa.generator.plant_mutation_script`)
+        and the mutate-then-match differential runs after every batch.
+        An explicit ``run_options["mutations"]`` wins over the generated
+        script.
     """
     start = time.perf_counter()
     report = FuzzReport(seed=seed, cases_requested=cases)
@@ -100,7 +107,10 @@ def run_fuzz(
             break
         case_seed = seed * SEED_STRIDE + i
         case = plant_case(case_seed, **case_options)
-        divergences = run_case(case, **run_options)
+        options = run_options
+        if mutate and "mutations" not in options:
+            options = dict(options, mutations=plant_mutation_script(case))
+        divergences = run_case(case, **options)
         report.cases_run += 1
         if not divergences:
             continue

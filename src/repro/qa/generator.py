@@ -28,6 +28,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.dynamic.mutations import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    REMOVE_EDGE,
+    Mutation,
+    MutationScript,
+)
 from repro.graph.generators import erdos_renyi_graph, rmat_graph
 from repro.graph.graph import Graph
 from repro.graph.ops import connected
@@ -35,6 +42,7 @@ from repro.graph.ops import connected
 __all__ = [
     "PlantedCase",
     "plant_case",
+    "plant_mutation_script",
     "random_query",
     "TRANSFORMS",
     "apply_transform",
@@ -135,6 +143,70 @@ def plant_case(
         planted=tuple(int(h) for h in hosts),
         num_labels=labels,
     )
+
+
+def plant_mutation_script(
+    case: PlantedCase,
+    num_batches: int = 3,
+    seed: Optional[int] = None,
+) -> MutationScript:
+    """A seeded mutation script with a planted post-mutation embedding.
+
+    The leading batches churn the background — random edge inserts,
+    removals of existing edges (the planted embedding's edges included,
+    so deletion cascades are exercised), and attached fresh vertices.
+    The **final batch plants a brand-new copy of the query** on freshly
+    added vertices, so after the whole script runs the graph is
+    guaranteed to contain at least one embedding that exists *only*
+    because of the mutations — the addition cascade the incremental
+    candidate maintenance must propagate from nothing.
+
+    Ground truth for the script is differential (incremental vs
+    from-scratch rebuild after every batch), so the churn batches are
+    unconstrained; the planted final batch just guarantees the
+    interesting direction is never vacuously empty.
+    """
+    rng = np.random.default_rng(
+        case.seed * 7919 + 11 if seed is None else seed
+    )
+    n = case.data.num_vertices
+    edges = set(case.data.edges())
+    script: List[Tuple[Mutation, ...]] = []
+
+    for _ in range(max(0, num_batches - 1)):
+        batch: List[Mutation] = []
+        for _ in range(int(rng.integers(2, 6))):
+            roll = rng.random()
+            if roll < 0.45:
+                u = int(rng.integers(0, n))
+                v = int(rng.integers(0, n))
+                if u != v:
+                    edge = (min(u, v), max(u, v))
+                    batch.append(Mutation(ADD_EDGE, *edge))
+                    edges.add(edge)
+            elif roll < 0.80 and edges:
+                edge = sorted(edges)[int(rng.integers(0, len(edges)))]
+                batch.append(Mutation(REMOVE_EDGE, *edge))
+                edges.discard(edge)
+            else:
+                label = int(rng.integers(0, case.num_labels))
+                anchor = int(rng.integers(0, n))
+                batch.append(Mutation(ADD_VERTEX, label))
+                batch.append(Mutation(ADD_EDGE, anchor, n))
+                edges.add((anchor, n))
+                n += 1
+        script.append(tuple(batch))
+
+    final: List[Mutation] = []
+    hosts: List[int] = []
+    for u in case.query.vertices():
+        final.append(Mutation(ADD_VERTEX, case.query.label(u)))
+        hosts.append(n)
+        n += 1
+    for u, v in case.query.edges():
+        final.append(Mutation(ADD_EDGE, hosts[u], hosts[v]))
+    script.append(tuple(final))
+    return tuple(script)
 
 
 # ----------------------------------------------------------------------

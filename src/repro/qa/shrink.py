@@ -2,18 +2,25 @@
 
 A fuzz finding on a 40-vertex background is a chore to debug; the same
 divergence on 8 vertices is usually obvious. The shrinker is a greedy
-delta-debugger over three move classes, applied to fixpoint:
+delta-debugger over four move classes, applied to fixpoint:
 
 1. delete one **data vertex** (induced subgraph on the rest),
 2. delete one **data edge**,
 3. delete one **query vertex** (only while the query stays connected
-   with ≥ 3 vertices, the framework's precondition).
+   with ≥ 3 vertices, the framework's precondition),
+4. for records carrying a mutation script, delete one **mutation
+   batch**, then one **mutation op** — rewritten into
+   ``record["config_a"]["mutations"]`` in place so the persisted corpus
+   record carries the minimized script.
 
 Each move is kept iff :func:`repro.qa.differential.divergence_reproduces`
 still fires on the mutated pair — the same predicate corpus replay uses,
 so whatever the shrinker outputs is replayable by construction. Graph
 immutability keeps this simple: every move builds a fresh
 :class:`~repro.graph.graph.Graph`, and a rejected move costs nothing.
+Data-vertex deletions shift ids underneath a recorded script; replay
+sanitizes out-of-range ops (:func:`repro.dynamic.sanitize_batch`), so
+those moves stay sound on mutation records too.
 """
 
 from __future__ import annotations
@@ -112,6 +119,66 @@ def shrink_case(
                 progressed = True
             v -= 1
 
+        # Pass 4: mutation script (whole batches, then single ops). The
+        # script lives in the record's JSON form; accepted moves rewrite
+        # it in place so the divergence object — and any corpus file
+        # written from it — carries the minimized script.
+        moves, timed_out = _shrink_mutations(record, query, data, out_of_time)
+        applied += moves
+        progressed = progressed or moves > 0
+        if timed_out:
+            return query, data, applied
+
         if not progressed:
             break
     return query, data, applied
+
+
+def _shrink_mutations(
+    record: Dict,
+    query: Graph,
+    data: Graph,
+    out_of_time,
+) -> Tuple[int, bool]:
+    """One greedy pass over ``record``'s mutation script.
+
+    Returns ``(accepted_moves, timed_out)``. No-op for records without
+    a script (the static axes).
+    """
+    config = record.get("config_a") or {}
+    script = config.get("mutations")
+    if not script:
+        return 0, False
+    applied = 0
+
+    # Whole batches, last first (later batches usually depend on ids the
+    # earlier ones created, so dropping from the tail succeeds more).
+    i = len(script) - 1
+    while i >= 0 and len(script) > 1:
+        if out_of_time():
+            return applied, True
+        candidate = script[:i] + script[i + 1:]
+        config["mutations"] = candidate
+        if divergence_reproduces(record, query, data):
+            script = candidate
+            applied += 1
+        else:
+            config["mutations"] = script
+        i -= 1
+
+    # Single ops within each surviving batch.
+    for bi in range(len(script)):
+        oj = len(script[bi]) - 1
+        while oj >= 0:
+            if out_of_time():
+                return applied, True
+            batch = script[bi][:oj] + script[bi][oj + 1:]
+            candidate = script[:bi] + [batch] + script[bi + 1:]
+            config["mutations"] = candidate
+            if divergence_reproduces(record, query, data):
+                script = candidate
+                applied += 1
+            else:
+                config["mutations"] = script
+            oj -= 1
+    return applied, False

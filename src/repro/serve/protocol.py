@@ -88,7 +88,7 @@ def parse_request(line: str) -> Dict[str, Any]:
     if not isinstance(payload, dict):
         raise GraphFormatError("request must be a JSON object")
     op = payload.get("op")
-    if op not in {"match", "add_graph", "graphs", "stats", "ping"}:
+    if op not in {"match", "add_graph", "mutate", "graphs", "stats", "ping"}:
         raise GraphFormatError(f"unknown op {op!r}")
     return payload
 
@@ -127,6 +127,10 @@ def match_response(
         "queue_ms": round(response.queue_seconds * 1000.0, 3),
         "total_ms": round(response.total_seconds * 1000.0, 3),
     }
+    if response.epoch is not None:
+        # Dynamic graphs only: the epoch whose snapshot the embeddings
+        # are valid against (see ServeResponse.epoch).
+        payload["epoch"] = response.epoch
     if request_id is not None:
         payload["id"] = request_id
     result = response.result

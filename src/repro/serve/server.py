@@ -132,6 +132,8 @@ class MatchServer:
                     return self._ok(request_id, stats=self.service.stats())
                 if op == "add_graph":
                     return self._handle_add_graph(request, request_id)
+                if op == "mutate":
+                    return await self._handle_mutate(request, request_id)
                 return await self._handle_match(request, request_id)
         except ReproError as exc:
             return protocol.error_response(exc, request_id)
@@ -153,12 +155,32 @@ class MatchServer:
         if not isinstance(name, str) or not name:
             raise GraphFormatError("add_graph needs a non-empty 'name'")
         graph = protocol.graph_from_payload(request.get("graph"))
-        self.service.add_graph(name, graph)
+        self.service.add_graph(name, graph, dynamic=bool(request.get("dynamic")))
         return self._ok(
             request_id,
             name=name,
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
+        )
+
+    async def _handle_mutate(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        mutations = request.get("mutations")
+        if not isinstance(mutations, list):
+            raise GraphFormatError("mutate needs a 'mutations' list")
+        # The apply + session fan-out is CPU work (snapshot rebuild,
+        # subscription re-enumeration) — keep it off the event loop.
+        outcome = await asyncio.to_thread(
+            self.service.mutate, request.get("graph", "default"), mutations
+        )
+        return self._ok(
+            request_id,
+            graph=outcome.graph,
+            epoch=outcome.epoch,
+            added_edges=len(outcome.delta.added_edges),
+            removed_edges=len(outcome.delta.removed_edges),
+            added_vertices=len(outcome.delta.added_vertices),
         )
 
     async def _handle_match(

@@ -67,7 +67,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.plan import AlgorithmLike, KernelLike, validate_query
 from repro.core.result import MatchResult
 from repro.core.session import MatchSession
+from repro.dynamic.mutations import Mutation
+from repro.dynamic.overlay import DynamicGraph, MutationDelta
+from repro.dynamic.subscribe import SubscriptionUpdate
 from repro.errors import (
+    ConfigurationError,
     DeadlineExceededError,
     InvalidQueryError,
     QueueFullError,
@@ -79,7 +83,22 @@ from repro.graph.store import GraphSource, as_graph
 from repro.obs import Metrics, span
 from repro.serve.clock import Clock, SystemClock
 
-__all__ = ["MatchService", "ServeResponse"]
+__all__ = ["MatchService", "ServeResponse", "ServiceMutation"]
+
+
+@dataclass(frozen=True)
+class ServiceMutation:
+    """One applied mutation batch on a resident dynamic graph."""
+
+    graph: str
+    #: The graph epoch after the batch.
+    epoch: int
+    delta: MutationDelta
+    #: Per-tenant subscription deltas (tenants with standing queries on
+    #: this graph at mutation time).
+    updates: Dict[str, Tuple[SubscriptionUpdate, ...]] = field(
+        default_factory=dict
+    )
 
 
 @dataclass
@@ -98,6 +117,10 @@ class ServeResponse:
     #: Admission → response, in service-clock seconds.
     total_seconds: float
     result: Optional[MatchResult] = None
+    #: The graph epoch the execution ran against (dynamic graphs only) —
+    #: the snapshot-isolation witness: every embedding in ``result`` is
+    #: valid against exactly this epoch's snapshot.
+    epoch: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -209,6 +232,9 @@ class MatchService:
         self.n_workers = n_workers
 
         self._graphs: Dict[str, Graph] = {}
+        # Serializes mutation batches per dynamic graph (apply + fan-out
+        # to tenant sessions must not interleave between two mutates).
+        self._mutation_locks: Dict[str, threading.Lock] = {}
         self._sessions: Dict[Tuple[str, str], MatchSession] = {}
         self._inflight: Dict[Tuple, _Entry] = {}
         self._pending = 0
@@ -227,24 +253,38 @@ class MatchService:
     # Resident graphs and sessions
     # ------------------------------------------------------------------
 
-    def add_graph(self, name: str, graph: "GraphSource") -> None:
+    def add_graph(
+        self, name: str, graph: "GraphSource", dynamic: bool = False
+    ) -> None:
         """Register a resident graph under ``name``.
 
         Accepts a :class:`~repro.graph.graph.Graph`, any
         :class:`~repro.graph.store.GraphStore` backend, or a path to a
         ``.graph``/``.rgf`` file — an ``.rgf`` path opens memmap-backed,
-        so a cold graph larger than RAM registers in O(header).
+        so a cold graph larger than RAM registers in O(header). A
+        :class:`~repro.dynamic.overlay.DynamicGraph` (or any source with
+        ``dynamic=True``, which wraps it in one) registers as *mutable*:
+        :meth:`mutate` accepts batches for it, and every response
+        carries the epoch its execution ran against.
         """
         if not name:
             raise ValueError("graph name must be non-empty")
-        resolved = as_graph(graph)
+        if isinstance(graph, DynamicGraph):
+            resolved: "GraphSource" = graph
+        else:
+            resolved = as_graph(graph)
+            if dynamic:
+                resolved = DynamicGraph(resolved)
         with self._lock:
             self._graphs[name] = resolved
+            if isinstance(resolved, DynamicGraph):
+                self._mutation_locks.setdefault(name, threading.Lock())
 
     def remove_graph(self, name: str) -> None:
         """Drop a resident graph and every session built on it."""
         with self._lock:
             self._graphs.pop(name, None)
+            self._mutation_locks.pop(name, None)
             for key in [k for k in self._sessions if k[1] == name]:
                 del self._sessions[key]
 
@@ -279,6 +319,68 @@ class MatchService:
             return session
 
     # ------------------------------------------------------------------
+    # Mutation (dynamic resident graphs)
+    # ------------------------------------------------------------------
+
+    def mutate(self, graph: str, mutations) -> ServiceMutation:
+        """Apply one mutation batch to a dynamic resident graph.
+
+        Epoch-versioned reads: the batch advances the graph epoch once
+        and swaps every tenant session's served snapshot; in-flight
+        matches keep the immutable snapshot they captured at execution
+        start, so each response's embeddings are consistent with exactly
+        one epoch (reported on :attr:`ServeResponse.epoch`). Standing
+        queries (:meth:`MatchSession.subscribe`) report their embedding
+        deltas in the returned :class:`ServiceMutation`.
+
+        ``mutations`` is a sequence of
+        :class:`~repro.dynamic.mutations.Mutation` objects or plain op
+        tuples (``("add_edge", u, v)`` …).
+        """
+        self._metrics_add("serve.mutations")
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        with self._lock:
+            target = self._graphs.get(graph)
+            if target is None:
+                self._metrics_add("serve.rejected_unknown_graph")
+                raise UnknownGraphError(f"no resident graph named {graph!r}")
+            if not isinstance(target, DynamicGraph):
+                self._metrics_add("serve.rejected_invalid")
+                raise ConfigurationError(
+                    f"resident graph {graph!r} is immutable; register it "
+                    "with add_graph(..., dynamic=True) to mutate"
+                )
+            mutation_lock = self._mutation_locks[graph]
+        batch = [
+            m if isinstance(m, Mutation) else Mutation.from_json(m)
+            for m in mutations
+        ]
+        with mutation_lock:
+            # Sessions created after this point start on the post-batch
+            # snapshot and skip the fan-out delta via their epoch guard.
+            with self._lock:
+                sessions = {
+                    t: s for (t, g), s in self._sessions.items() if g == graph
+                }
+            delta = target.apply(batch)
+            updates = {
+                tenant: session.ingest(delta).updates
+                for tenant, session in sessions.items()
+            }
+        self._metrics_add(
+            "serve.mutated_edges",
+            len(delta.added_edges) + len(delta.removed_edges),
+        )
+        self._metrics_add("serve.mutated_vertices", len(delta.added_vertices))
+        return ServiceMutation(
+            graph=graph,
+            epoch=target.epoch,
+            delta=delta,
+            updates={t: u for t, u in updates.items() if u},
+        )
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
 
@@ -302,12 +404,19 @@ class MatchService:
     ) -> Tuple:
         # Exact-graph keying (Graph hashes its label and CSR arrays):
         # fingerprint-equal renumberings have *different* embeddings, so
-        # only byte-identical queries may share an execution.
+        # only byte-identical queries may share an execution. Dynamic
+        # graphs additionally key on their epoch at admission — a
+        # request admitted after a mutation must not ride an execution
+        # answering from the pre-mutation snapshot.
         algo = self.algorithm if algorithm is None else algorithm
         kern = self.kernel if kernel is None else kernel
         eng = self.engine if engine is None else engine
+        with self._lock:
+            target = self._graphs.get(graph_name)
+        epoch = target.epoch if isinstance(target, DynamicGraph) else 0
         return (
             graph_name,
+            epoch,
             MatchSession._algorithm_key(algo),
             MatchSession._kernel_key(kern),
             eng,
@@ -533,6 +642,10 @@ class MatchService:
                 )
                 continue
             self._metrics_add("serve.completed")
+            # The session stamps the epoch its snapshot answered from
+            # (dynamic graphs only) — surface it as the response's
+            # snapshot-isolation witness.
+            epoch = result.metrics.counters.get("session.data_epoch")
             waiter.future.set_result(
                 ServeResponse(
                     status="ok",
@@ -542,6 +655,7 @@ class MatchService:
                     queue_seconds=started - waiter.admitted_at,
                     total_seconds=end - waiter.admitted_at,
                     result=result,
+                    epoch=epoch,
                 )
             )
 

@@ -1,0 +1,207 @@
+"""Mutation under concurrent match load: snapshot isolation per epoch.
+
+One dynamic resident graph, many matcher threads, one mutator thread.
+The serving tier's contract is epoch-versioned reads: every response
+reports the epoch its execution ran against, and its embeddings must be
+*exactly* the match set of that epoch's snapshot — never a torn read
+mixing two epochs, regardless of how mutations interleave with
+enumerations. The mutator is the only writer, so it can record the
+authoritative ``(epoch, snapshot)`` history as it goes; the matchers'
+responses are checked against that history after the fact.
+
+Also under load: the standing subscription's embedding set must land on
+the final snapshot's exact match set, and the service counters must
+balance (no lost increments). No wall-clock sleeps anywhere — the
+threads contend on the real locks, and the suite watchdog (conftest)
+catches deadlocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.session import MatchSession
+from repro.dynamic import DynamicGraph
+from repro.graph import erdos_renyi_graph, extract_query
+from repro.serve import MatchService
+
+THREADS = 6
+ROUNDS = 8
+BATCHES = 12
+
+
+@pytest.fixture(scope="module")
+def base():
+    return erdos_renyi_graph(60, 4.0, 3, seed=33)
+
+
+@pytest.fixture(scope="module")
+def queries(base):
+    return [extract_query(base, 4, seed=s) for s in (1, 2)]
+
+
+def run_threads(workers):
+    """Start one thread per callable behind a barrier; re-raise errors."""
+    barrier = threading.Barrier(len(workers))
+    errors = []
+
+    def wrapped(fn):
+        try:
+            barrier.wait()
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=wrapped, args=(fn,), daemon=True)
+        for fn in workers
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_every_response_is_exact_for_its_reported_epoch(base, queries):
+    dyn = DynamicGraph(base)
+    service = MatchService(workers=4)
+    service.add_graph("live", dyn)
+    subscription = service.session_for("watcher", "live").subscribe(queries[0])
+
+    # The single writer records the authoritative snapshot history.
+    snapshots = {0: dyn.snapshot()}
+    toggles = sorted(base.edges())[:: max(1, base.num_edges // 8)][:8]
+
+    def mutator():
+        for i in range(BATCHES):
+            if i % 2 == 0:
+                batch = [("remove_edge", u, v) for u, v in toggles]
+            else:
+                batch = [("add_edge", u, v) for u, v in toggles]
+                if i % 4 == 3:
+                    # Grow the graph too: a vertex wired onto a toggle edge.
+                    batch.append(("add_vertex", 0))
+            applied = service.mutate("live", batch)
+            snapshots[applied.epoch] = dyn.snapshot()
+
+    responses = []
+    record_lock = threading.Lock()
+
+    def matcher(tid):
+        def run():
+            mine = []
+            for round_ in range(ROUNDS):
+                query_id = (tid + round_) % len(queries)
+                response = service.match(
+                    queries[query_id],
+                    graph="live",
+                    tenant=f"tenant-{tid}",
+                )
+                assert response.ok
+                mine.append(
+                    (
+                        response.epoch,
+                        query_id,
+                        response.result.num_matches,
+                        tuple(sorted(response.result.embeddings)),
+                    )
+                )
+            with record_lock:
+                responses.extend(mine)
+
+        return run
+
+    try:
+        run_threads([mutator] + [matcher(tid) for tid in range(THREADS)])
+
+        # Every response names an epoch the writer actually produced, and
+        # its embeddings are byte-for-byte the match set of that epoch's
+        # snapshot — snapshot isolation, checked exactly.
+        assert len(responses) == THREADS * ROUNDS
+        reference = {}
+        for epoch, query_id, num_matches, embeddings in responses:
+            assert epoch in snapshots
+            key = (epoch, query_id)
+            if key not in reference:
+                ref_session = MatchSession(snapshots[epoch])
+                reference[key] = ref_session.match(queries[query_id])
+            assert num_matches == reference[key].num_matches
+            assert embeddings == tuple(sorted(reference[key].embeddings))
+
+        # The standing query landed on the final snapshot's exact set.
+        final_epoch = max(snapshots)
+        assert subscription.epoch == final_epoch
+        final_reference = MatchSession(snapshots[final_epoch]).match(queries[0])
+        assert subscription.matches() == sorted(
+            tuple(e) for e in final_reference.embeddings
+        )
+
+        # Counter integrity: nothing lost under contention.
+        counters = service.metrics.counters
+        assert counters["serve.mutations"] == BATCHES
+        assert counters["serve.requests"] == THREADS * ROUNDS
+        assert counters["serve.completed"] == THREADS * ROUNDS
+        assert counters.get("serve.expired", 0) == 0
+        assert dyn.epoch == BATCHES
+    finally:
+        service.close()
+
+
+def test_session_level_mutate_serializes_with_matches(base, queries):
+    """MatchSession.mutate racing MatchSession.match on one shared session.
+
+    Weaker oracle than the service test (no per-response epoch history at
+    this layer), but it drives the session's own locks: every match must
+    observe *some* consistent epoch — its stamped ``session.data_epoch``
+    must be one the mutator actually produced, and its result must equal
+    the reference for that epoch.
+    """
+    dyn = DynamicGraph(base)
+    session = MatchSession(dyn)
+    snapshots = {0: dyn.snapshot()}
+    toggles = sorted(base.edges())[:6]
+
+    def mutator():
+        for i in range(BATCHES):
+            op = "remove_edge" if i % 2 == 0 else "add_edge"
+            outcome = session.mutate([(op, u, v) for u, v in toggles])
+            snapshots[outcome.epoch] = dyn.snapshot()
+
+    results = []
+    record_lock = threading.Lock()
+
+    def matcher(tid):
+        def run():
+            mine = []
+            for _ in range(ROUNDS):
+                result = session.match(queries[tid % len(queries)])
+                mine.append(
+                    (
+                        result.metrics.counters["session.data_epoch"],
+                        tid % len(queries),
+                        tuple(sorted(result.embeddings)),
+                    )
+                )
+            with record_lock:
+                results.extend(mine)
+
+        return run
+
+    try:
+        run_threads([mutator] + [matcher(tid) for tid in range(THREADS)])
+        reference = {}
+        for epoch, query_id, embeddings in results:
+            assert epoch in snapshots
+            key = (epoch, query_id)
+            if key not in reference:
+                ref = MatchSession(snapshots[epoch]).match(queries[query_id])
+                reference[key] = tuple(sorted(ref.embeddings))
+            assert embeddings == reference[key]
+        assert session.metrics.counters["session.mutations"] == BATCHES
+        assert session.metrics.counters["session.queries"] == THREADS * ROUNDS
+    finally:
+        session.close()

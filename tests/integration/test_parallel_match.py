@@ -205,6 +205,9 @@ class TestFallback:
         assert par.embeddings == seq.embeddings
 
     def test_recursive_engine_falls_back(self, workload):
+        from repro.enumeration.engines import enable_recursive_baseline
+
+        enable_recursive_baseline()
         query, data = workload
         seq = match(
             query, data, algorithm=ALGORITHM, engine="recursive",

@@ -141,6 +141,53 @@ class TestServeProtocol:
         assert added["ok"] and added["num_vertices"] == 4
         assert matched["ok"] and matched["num_matches"] == 4
 
+    def test_mutate_over_the_wire_advances_served_epochs(self, service):
+        tiny_query = {"labels": [0, 1, 0], "edges": [[0, 1], [1, 2]]}
+        tiny_data = {
+            "labels": [0, 1, 0, 1],
+            "edges": [[0, 1], [1, 2], [2, 3], [3, 0]],
+        }
+
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.rpc(
+                {
+                    "op": "add_graph",
+                    "name": "live",
+                    "graph": tiny_data,
+                    "dynamic": True,
+                }
+            )
+            before = await client.rpc(
+                {"op": "match", "graph": "live", "query": tiny_query}
+            )
+            mutated = await client.rpc(
+                {
+                    "op": "mutate",
+                    "graph": "live",
+                    "mutations": [["add_vertex", 0], ["add_edge", 1, 4]],
+                }
+            )
+            after = await client.rpc(
+                {"op": "match", "graph": "live", "query": tiny_query}
+            )
+            await client.close()
+            return before, mutated, after
+
+        before, mutated, after = run(with_server(service, scenario))
+        assert before["ok"] and before["epoch"] == 0
+        assert mutated == {
+            "ok": True,
+            "graph": "live",
+            "epoch": 1,
+            "added_edges": 1,
+            "removed_edges": 0,
+            "added_vertices": 1,
+        }
+        assert after["ok"] and after["epoch"] == 1
+        # The planted vertex 4 (label 0) adds paths through vertex 1.
+        assert after["num_matches"] > before["num_matches"]
+
     def test_error_codes_keep_the_connection_alive(self, service, query):
         async def scenario(server):
             client = await Client.connect(server.port)

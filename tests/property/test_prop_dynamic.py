@@ -1,0 +1,171 @@
+"""Dynamic-graph properties: mutation, compaction, epoch invalidation.
+
+Three invariants Hypothesis explores over random graphs, mutation
+batches, and compaction points:
+
+* **candidate equality** — after any interleaving of mutation batches
+  and ``compact()`` calls, the incrementally maintained
+  :class:`~repro.dynamic.IncrementalCandidates` state equals a
+  ground-up rebuild on the same graph (seed, d1, d2 *and* the support
+  counters — the internal state, not just the visible sets);
+* **fingerprint-invalidation exactness** — a session's prepared-query
+  cache hits iff the graph epoch is unchanged: a repeated query hits, a
+  query after a non-empty batch misses, a query after an *empty* batch
+  (all-no-op mutations bump nothing) hits again;
+* **overlay ↔ compacted byte parity** — the overlay's snapshot, a
+  from-scratch :class:`~repro.graph.graph.Graph` on the same
+  labels/edges, and the post-``compact()`` base all carry byte-identical
+  CSR arrays (construction is canonical, so parity is exact, not just
+  set-equal).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import MatchSession
+from repro.dynamic import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    REMOVE_EDGE,
+    DynamicGraph,
+    IncrementalCandidates,
+    Mutation,
+    sanitize_batch,
+)
+from repro.graph.graph import Graph
+from repro.qa import plant_case
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SEEDS = st.integers(0, 2**16)
+
+
+@st.composite
+def programs(draw):
+    """A planted case plus an interleaving of batches and compactions.
+
+    Ops are drawn raw (endpoints may be out of range or self-loops) and
+    sanitized at apply time against the graph's current vertex count —
+    the same tolerance the QA shrinker relies on.
+    """
+    case = plant_case(draw(SEEDS), max_data=20)
+    raw_op = st.one_of(
+        st.tuples(
+            st.just(ADD_EDGE),
+            st.integers(0, case.data.num_vertices + 4),
+            st.integers(0, case.data.num_vertices + 4),
+        ),
+        st.tuples(
+            st.just(REMOVE_EDGE),
+            st.integers(0, case.data.num_vertices + 4),
+            st.integers(0, case.data.num_vertices + 4),
+        ),
+        st.tuples(st.just(ADD_VERTEX), st.integers(0, 3)),
+    )
+    steps = draw(
+        st.lists(
+            st.one_of(
+                st.just("compact"),
+                st.lists(raw_op, min_size=0, max_size=5),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return case, steps
+
+
+def _as_batch(raw):
+    return tuple(Mutation(*op) for op in raw)
+
+
+def _assert_byte_parity(left: Graph, right: Graph) -> None:
+    assert left.store.labels.tobytes() == right.store.labels.tobytes()
+    assert left.store.offsets.tobytes() == right.store.offsets.tobytes()
+    assert (
+        left.store.neighbors.tobytes() == right.store.neighbors.tobytes()
+    )
+
+
+@_SETTINGS
+@given(program=programs())
+def test_candidates_track_any_mutate_compact_interleaving(program):
+    case, steps = program
+    dyn = DynamicGraph(case.data, compact_threshold=0.5)
+    incremental = IncrementalCandidates(case.query, dyn)
+    n = dyn.num_vertices
+    for step in steps:
+        if step == "compact":
+            epoch = dyn.epoch
+            dyn.compact()
+            assert dyn.epoch == epoch, "compaction must not bump the epoch"
+        else:
+            kept, n = sanitize_batch(_as_batch(step), n)
+            delta = dyn.apply(kept)
+            incremental.apply_delta(delta)
+        assert incremental.equal_state(incremental.rebuild())
+    # The visible candidate sets agree with a cold build as well.
+    cold = IncrementalCandidates(case.query, dyn)
+    assert incremental.as_dict() == cold.as_dict()
+
+
+@_SETTINGS
+@given(program=programs())
+def test_overlay_snapshot_and_compacted_base_byte_parity(program):
+    case, steps = program
+    dyn = DynamicGraph(case.data, compact_threshold=0.5)
+    n = dyn.num_vertices
+    for step in steps:
+        if step == "compact":
+            dyn.compact()
+        else:
+            kept, n = sanitize_batch(_as_batch(step), n)
+            dyn.apply(kept)
+    rebuilt = Graph(labels=dyn.labels_list(), edges=list(dyn.edges()))
+    _assert_byte_parity(dyn.snapshot(), rebuilt)
+    dyn.compact()
+    assert dyn.overlay_size == 0
+    _assert_byte_parity(dyn.base, rebuilt)
+    _assert_byte_parity(dyn.snapshot(), rebuilt)
+
+
+@_SETTINGS
+@given(seed=SEEDS, raw=st.lists(
+    st.tuples(st.just(ADD_EDGE), st.integers(0, 24), st.integers(0, 24)),
+    min_size=1, max_size=4,
+))
+def test_prep_cache_hit_iff_epoch_unchanged(seed, raw):
+    case = plant_case(seed, max_data=20)
+    dyn = DynamicGraph(case.data)
+    session = MatchSession(dyn, algorithm="GQL")
+    try:
+        def prep_hit():
+            result = session.match(case.query)
+            counters = result.metrics.counters
+            assert counters["plan.prep_hit"] + counters["plan.prep_miss"] == 1
+            return bool(counters["plan.prep_hit"])
+
+        assert not prep_hit()          # cold: miss
+        assert prep_hit()              # unchanged epoch: hit
+
+        kept, _ = sanitize_batch(_as_batch(raw), dyn.num_vertices)
+        # Drop ops that are no-ops against the current graph (edge
+        # already present), so a non-empty application really mutates.
+        effective = tuple(
+            m for m in kept if not dyn.has_edge(m.a, m.b)
+        )
+        epoch = dyn.epoch
+        session.mutate(effective)
+        if effective:
+            assert dyn.epoch == epoch + 1
+            assert not prep_hit()      # epoch bumped: exactly one miss
+        else:
+            assert dyn.epoch == epoch
+            assert prep_hit()          # empty batch: still a hit
+        assert prep_hit()              # and hits again at the new epoch
+    finally:
+        session.close()

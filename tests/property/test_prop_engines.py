@@ -17,8 +17,12 @@ from strategies import corpus_seeds
 
 from repro.core import MatchSession
 from repro.core.algorithms import PRESETS
+from repro.enumeration.engines import enable_recursive_baseline
 from repro.qa import plant_case
 from repro.utils.kernels import available_kernels
+
+# The whole point of this suite is the retired baseline — opt in.
+enable_recursive_baseline()
 
 SEEDS = st.integers(0, 2**20)
 

@@ -1,0 +1,72 @@
+"""The engine registry after the recursive engine's retirement.
+
+The iterative frame machine is the only engine in the default registry;
+the recursive backtracker survives one more release strictly as an
+opt-in differential baseline (``REPRO_ENGINE=recursive`` or
+``enable_recursive_baseline()``). These tests exercise the registry in
+isolation — other suites may have already opted in process-wide, so the
+pristine state is recreated with ``monkeypatch.delitem``.
+"""
+
+import pytest
+
+import repro.enumeration.engines as engines_module
+from repro.enumeration.engine import BacktrackingEngine
+from repro.enumeration.engines import (
+    DEFAULT_ENGINE,
+    available_engines,
+    enable_recursive_baseline,
+    resolve_engine_name,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def retired(monkeypatch):
+    """Registry as it looks before any opt-in."""
+    monkeypatch.delitem(engines_module._FACTORIES, "recursive", raising=False)
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+
+class TestRetiredDefaultRegistry:
+    def test_default_is_iterative(self, retired):
+        assert DEFAULT_ENGINE == "iterative"
+        assert available_engines() == ["iterative"]
+        assert resolve_engine_name(None) == "iterative"
+
+    def test_recursive_without_opt_in_is_unknown(self, retired):
+        with pytest.raises(ConfigurationError, match="recursive"):
+            resolve_engine_name("recursive")
+
+    def test_unknown_engine_message_names_the_opt_in(self, retired):
+        with pytest.raises(ConfigurationError, match="enable_recursive_baseline"):
+            resolve_engine_name("bogus")
+
+
+class TestOptIn:
+    def test_enable_recursive_baseline_registers(self, retired):
+        enable_recursive_baseline()
+        assert available_engines() == ["iterative", "recursive"]
+        assert resolve_engine_name("recursive") == "recursive"
+
+    def test_enable_is_idempotent_and_preserves_overrides(self, retired):
+        sentinel = object()
+        engines_module._FACTORIES["recursive"] = sentinel
+        enable_recursive_baseline()
+        assert engines_module._FACTORIES["recursive"] is sentinel
+
+    def test_env_var_opt_in_via_default_resolution(self, retired, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "recursive")
+        assert resolve_engine_name(None) == "recursive"
+        assert "recursive" in available_engines()
+
+    def test_env_var_opt_in_via_explicit_name(self, retired, monkeypatch):
+        # CI parity jobs pass --engine recursive with the env set; the
+        # explicit name must honor the opt-in too.
+        monkeypatch.setenv("REPRO_ENGINE", "recursive")
+        assert resolve_engine_name("recursive") == "recursive"
+
+    def test_opt_in_factory_is_the_backtracker(self, retired):
+        enable_recursive_baseline()
+        engine = engines_module.create_engine("recursive", None)
+        assert isinstance(engine, BacktrackingEngine)

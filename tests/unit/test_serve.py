@@ -104,6 +104,9 @@ class TestServiceBasics:
         assert served.num_matches == direct.num_matches
 
     def test_per_request_engine_override_recorded(self, service, query):
+        from repro.enumeration.engines import enable_recursive_baseline
+
+        enable_recursive_baseline()
         response = service.match(query, graph="g", engine="recursive")
         assert response.result.engine == "recursive"
         response = service.match(query, graph="g", engine="iterative")

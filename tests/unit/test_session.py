@@ -4,6 +4,7 @@ import pytest
 
 from repro import MatchSession, compile_plan, count_matches, has_match, match
 from repro.core.plan import LRUCache, run_plan
+from repro.enumeration.engines import enable_recursive_baseline
 from repro.errors import InvalidQueryError
 from repro.graph import Graph
 from fixtures import PAPER_DATA, PAPER_MATCHES, PAPER_QUERY
@@ -266,6 +267,7 @@ class TestEngineOverrideRecording:
     def test_session_count_and_has_match_record_override(
         self, captured_engines, engine
     ):
+        enable_recursive_baseline()
         session = MatchSession(PAPER_DATA, algorithm="GQL")
         n = session.count_matches(PAPER_QUERY, engine=engine)
         found = session.has_match(PAPER_QUERY, engine=engine)
@@ -278,6 +280,7 @@ class TestEngineOverrideRecording:
     def test_api_count_and_has_match_record_override(
         self, captured_engines, engine
     ):
+        enable_recursive_baseline()
         n = count_matches(PAPER_QUERY, PAPER_DATA, algorithm="GQL", engine=engine)
         found = has_match(PAPER_QUERY, PAPER_DATA, algorithm="GQL", engine=engine)
         assert n == len(PAPER_MATCHES) and found
